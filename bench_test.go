@@ -1,0 +1,443 @@
+package onll
+
+// One testing.B benchmark per experiment table (DESIGN.md §4). The
+// interesting metric is usually not ns/op (the substrate is a simulator)
+// but the custom metrics: pfences/op — the quantity the paper bounds —
+// and, for E8/E10, how cost scales with history size. Each benchmark
+// reports pfences/op via b.ReportMetric.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/objects"
+	"repro/internal/plog"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+const benchPool = 1 << 26
+
+// resetEvery bounds per-instance work so logs and pools never fill,
+// whatever b.N is; instances are recreated outside the timer.
+const resetEvery = 1 << 14
+
+// benchObj runs op b.N times against objects produced by make,
+// recreating the object every resetEvery iterations (outside the
+// timer), and reports persistent fences per op.
+func benchObj(b *testing.B, make func() (*pmem.Pool, baselines.Object), op func(obj baselines.Object, i int)) {
+	b.Helper()
+	var pool *pmem.Pool
+	var obj baselines.Object
+	var pfences uint64
+	rotate := func() {
+		if pool != nil {
+			pfences += pool.TotalStats().PersistentFences
+		}
+		pool, obj = nil, nil
+		pool, obj = func() (*pmem.Pool, baselines.Object) { return make() }()
+		pool.ResetStats()
+	}
+	b.StopTimer()
+	rotate()
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%resetEvery == 0 {
+			b.StopTimer()
+			rotate()
+			b.StartTimer()
+		}
+		op(obj, i)
+	}
+	b.StopTimer()
+	pfences += pool.TotalStats().PersistentFences
+	b.ReportMetric(float64(pfences)/float64(b.N), "pfences/op")
+}
+
+func mkONLL(b *testing.B, sp spec.Spec, cfg core.Config) func() (*pmem.Pool, baselines.Object) {
+	b.Helper()
+	return func() (*pmem.Pool, baselines.Object) {
+		pool := pmem.New(benchPool, nil)
+		if cfg.LogCapacity == 0 {
+			cfg.LogCapacity = resetEvery + 64
+		}
+		in, err := core.New(pool, sp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pool, baselines.ONLLAdapter{In: in}
+	}
+}
+
+// BenchmarkE1_FencesPerUpdate regenerates the E1 table: one persistent
+// fence per update, for each object.
+func BenchmarkE1_FencesPerUpdate(b *testing.B) {
+	cases := []struct {
+		name string
+		sp   spec.Spec
+		code uint64
+		args []uint64
+	}{
+		{"counter_inc", objects.CounterSpec{}, objects.CounterInc, nil},
+		{"register_write", objects.RegisterSpec{}, objects.RegisterWrite, []uint64{7}},
+		{"stack_push", objects.StackSpec{}, objects.StackPush, []uint64{7}},
+		{"queue_enq", objects.QueueSpec{}, objects.QueueEnq, []uint64{7}},
+		{"map_put", objects.MapSpec{}, objects.MapPut, []uint64{3, 9}},
+		{"set_add", objects.SetSpec{}, objects.SetAdd, []uint64{5}},
+		{"pq_insert", objects.PQSpec{}, objects.PQInsert, []uint64{11}},
+		{"bank_deposit", objects.BankSpec{}, objects.BankDeposit, []uint64{1, 5}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			benchObj(b, mkONLL(b, tc.sp, core.Config{NProcs: 1, LocalViews: true}),
+				func(obj baselines.Object, i int) {
+					if _, err := obj.Update(0, tc.code, tc.args...); err != nil {
+						b.Fatal(err)
+					}
+				})
+		})
+	}
+}
+
+// BenchmarkE1_ReadsNoFence: reads never fence (pfences/op must be 0).
+func BenchmarkE1_ReadsNoFence(b *testing.B) {
+	pool := pmem.New(benchPool, nil)
+	in, err := core.New(pool, objects.CounterSpec{}, core.Config{NProcs: 1, LocalViews: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := in.Handle(0)
+	for i := 0; i < 1000; i++ {
+		if _, _, err := h.Update(objects.CounterInc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pool.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(objects.CounterGet)
+	}
+	b.StopTimer()
+	st := pool.TotalStats()
+	b.ReportMetric(float64(st.PersistentFences)/float64(b.N), "pfences/op")
+	if st.PersistentFences != 0 || st.Stores != 0 {
+		b.Fatalf("reads touched NVM: %+v", st)
+	}
+}
+
+// BenchmarkE2_LowerBound times the construction of the Theorem 6.3
+// executions themselves (scheduler + fence accounting).
+func BenchmarkE2_LowerBound(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("case1_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.Case1(n, false)
+				if err != nil || !res.Satisfied() {
+					b.Fatalf("%v %v", res, err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("case2_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.Case2(n, false)
+				if err != nil || !res.Satisfied() {
+					b.Fatalf("%v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_Baselines regenerates the E6 comparison: updates/sec and
+// pfences/op for ONLL vs flat combining vs eager vs naive.
+func BenchmarkE6_Baselines(b *testing.B) {
+	sp := objects.CounterSpec{}
+	impls := []struct {
+		name string
+		mk   func() (*pmem.Pool, baselines.Object)
+	}{
+		{"onll", mkONLL(b, sp, core.Config{NProcs: 1, LocalViews: true})},
+		{"flatcombining", func() (*pmem.Pool, baselines.Object) {
+			pool := pmem.New(benchPool, nil)
+			fc, err := baselines.NewFlatCombining(pool, sp, 1, resetEvery+64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, fc
+		}},
+		{"eager", func() (*pmem.Pool, baselines.Object) {
+			pool := pmem.New(benchPool, nil)
+			eg, err := baselines.NewEager(pool, sp, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, eg
+		}},
+		{"naive", func() (*pmem.Pool, baselines.Object) {
+			pool := pmem.New(benchPool, nil)
+			nv, err := baselines.NewNaive(pool, sp, 1<<10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, nv
+		}},
+	}
+	for _, im := range impls {
+		b.Run(im.name, func(b *testing.B) {
+			benchObj(b, im.mk, func(obj baselines.Object, i int) {
+				if _, err := obj.Update(0, objects.CounterInc); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE6_Contended runs 4 simulated processes concurrently. The
+// constructors receive the sub-benchmark's iteration count so that
+// logs and pools are sized for the whole run (flat combining has no
+// truncation, the eager list allocates a node per update).
+func BenchmarkE6_Contended(b *testing.B) {
+	const nprocs = 4
+	sp := objects.CounterSpec{}
+	impls := []struct {
+		name string
+		mk   func(b *testing.B) (*pmem.Pool, baselines.Object)
+	}{
+		{"onll", func(b *testing.B) (*pmem.Pool, baselines.Object) {
+			pool := pmem.New(benchPool, nil)
+			in, err := core.New(pool, sp, core.Config{
+				NProcs: nprocs, LocalViews: true, CompactEvery: 1 << 10, LogCapacity: 1 << 12,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, baselines.ONLLAdapter{In: in}
+		}},
+		{"flatcombining", func(b *testing.B) (*pmem.Pool, baselines.Object) {
+			capacity := b.N + nprocs + 64
+			pool := pmem.New(plog.RegionBytes(capacity, nprocs)+(1<<22), nil)
+			fc, err := baselines.NewFlatCombining(pool, sp, nprocs, capacity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, fc
+		}},
+		{"eager", func(b *testing.B) (*pmem.Pool, baselines.Object) {
+			pool := pmem.New((b.N+64)*pmem.LineSize+(1<<22), nil)
+			eg, err := baselines.NewEager(pool, sp, nprocs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, eg
+		}},
+	}
+	for _, im := range impls {
+		b.Run(im.name, func(b *testing.B) {
+			pool, obj := im.mk(b)
+			pool.ResetStats()
+			per := b.N/nprocs + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for pid := 0; pid < nprocs; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := obj.Update(pid, objects.CounterInc); err != nil {
+							panic(err)
+						}
+					}
+				}(pid)
+			}
+			wg.Wait()
+			b.StopTimer()
+			tot := pool.TotalStats()
+			b.ReportMetric(float64(tot.PersistentFences)/float64(per*nprocs), "pfences/op")
+		})
+	}
+}
+
+// BenchmarkE7_FenceOrdering: ONLL vs the eager transform, updates and
+// reads separately.
+func BenchmarkE7_FenceOrdering(b *testing.B) {
+	b.Run("onll_update", func(b *testing.B) {
+		benchObj(b, mkONLL(b, objects.CounterSpec{}, core.Config{NProcs: 1, LocalViews: true}),
+			func(obj baselines.Object, i int) { obj.Update(0, objects.CounterInc) })
+	})
+	b.Run("eager_update", func(b *testing.B) {
+		benchObj(b, func() (*pmem.Pool, baselines.Object) {
+			pool := pmem.New(benchPool, nil)
+			eg, err := baselines.NewEager(pool, objects.CounterSpec{}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return pool, eg
+		}, func(obj baselines.Object, i int) { obj.Update(0, objects.CounterInc) })
+	})
+	b.Run("eager_read_hot", func(b *testing.B) {
+		pool := pmem.New(1<<28, nil)
+		eg, err := baselines.NewEager(pool, objects.CounterSpec{}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.ResetStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%resetEvery == 0 {
+				eg.Update(0, objects.CounterInc) // keep the head line hot
+			}
+			eg.Read(1, objects.CounterGet)
+		}
+		b.StopTimer()
+		st := pool.StatsOf(1)
+		b.ReportMetric(float64(st.Fences+st.PersistentFences)/float64(b.N), "fences/op")
+	})
+}
+
+// BenchmarkE8_ReadScaling: read latency vs history length, with and
+// without local views.
+func BenchmarkE8_ReadScaling(b *testing.B) {
+	for _, histLen := range []int{100, 1000, 10000} {
+		for _, lv := range []bool{false, true} {
+			name := fmt.Sprintf("hist%d_replayall", histLen)
+			if lv {
+				name = fmt.Sprintf("hist%d_localviews", histLen)
+			}
+			b.Run(name, func(b *testing.B) {
+				pool := pmem.New(benchPool, nil)
+				in, err := core.New(pool, objects.CounterSpec{}, core.Config{
+					NProcs: 1, LocalViews: lv, LogCapacity: histLen*2 + 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h := in.Handle(0)
+				for i := 0; i < histLen; i++ {
+					if _, _, err := h.Update(objects.CounterInc); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := h.Read(objects.CounterGet); got != uint64(histLen) {
+						b.Fatalf("read %d", got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE9_Compaction: update cost with and without compaction (the
+// snapshot fence is amortized over CompactEvery updates).
+func BenchmarkE9_Compaction(b *testing.B) {
+	for _, ce := range []int{0, 64, 1024} {
+		name := "off"
+		if ce > 0 {
+			name = fmt.Sprintf("every%d", ce)
+		}
+		b.Run(name, func(b *testing.B) {
+			benchObj(b, mkONLL(b, objects.CounterSpec{}, core.Config{
+				NProcs: 1, LocalViews: true, CompactEvery: ce,
+			}), func(obj baselines.Object, i int) {
+				if _, err := obj.Update(0, objects.CounterInc); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE10_Recovery: recovery time vs surviving history size.
+func BenchmarkE10_Recovery(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("ops%d", n), func(b *testing.B) {
+			pool := pmem.New(benchPool, nil)
+			in, err := core.New(pool, objects.CounterSpec{}, core.Config{NProcs: 2, LogCapacity: n + 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for pid := 0; pid < 2; pid++ {
+				h := in.Handle(pid)
+				for i := 0; i < n/2; i++ {
+					if _, _, err := h.Update(objects.CounterInc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			pool.Crash(pmem.DropAll)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := core.Recover(pool, objects.CounterSpec{}, core.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.LastIdx != uint64(n) {
+					b.Fatalf("recovered %d", rep.LastIdx)
+				}
+			}
+			b.ReportMetric(float64(n), "ops-recovered")
+		})
+	}
+}
+
+// BenchmarkE12_WaitFree: the wait-free ordering vs the lock-free one.
+func BenchmarkE12_WaitFree(b *testing.B) {
+	for _, wf := range []bool{false, true} {
+		name := "lockfree"
+		if wf {
+			name = "waitfree"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchObj(b, mkONLL(b, objects.CounterSpec{}, core.Config{
+				NProcs: 1, WaitFree: wf, LocalViews: true,
+			}), func(obj baselines.Object, i int) {
+				if _, err := obj.Update(0, objects.CounterInc); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSubstrates: raw costs of the building blocks.
+func BenchmarkSubstrates(b *testing.B) {
+	b.Run("pmem_store_persist_line", func(b *testing.B) {
+		pool := pmem.New(1<<22, nil)
+		a := pool.MustAlloc(pmem.LineSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Store(0, a, uint64(i))
+			pool.Persist(0, a, 8)
+		}
+	})
+	b.Run("plog_append", func(b *testing.B) {
+		pool := pmem.New(benchPool, nil)
+		l, err := plog.Create(pool, 0, 1<<12, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.ResetStats()
+		ops := []spec.Op{{Code: 1, Args: [3]uint64{2, 3, 4}, ID: 5}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%(1<<11) == 0 {
+				if err := l.Truncate(l.NextSeq() - 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := l.Append(ops, uint64(i)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := pool.StatsOf(0)
+		// Truncations add their own fences; appends dominate.
+		b.ReportMetric(float64(st.PersistentFences)/float64(b.N), "pfences/op")
+	})
+}

@@ -1,0 +1,121 @@
+// detectable: exactly-once external side effects via detectable
+// execution.
+//
+// The classic problem: an application appends an order to a durable
+// log and then ships it (an external, unrecoverable side effect). If
+// the machine crashes between the two, did the order commit? Replaying
+// blindly double-ships; dropping blindly loses orders.
+//
+// ONLL's detectable execution answers the question exactly: after
+// recovery, WasLinearized(opID) says whether the append took effect.
+// The paper proves this comes at no extra fence cost — the same single
+// persistent fence per update.
+//
+// This example runs order processors that are killed by a crash at an
+// arbitrary point, recovers, and uses the report to resubmit exactly
+// the lost orders and ship exactly the committed ones: no order is
+// ever shipped twice or lost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	onll "repro"
+	"repro/internal/sched"
+)
+
+const (
+	processors = 3
+	orders     = 25 // per processor
+)
+
+type submission struct {
+	order uint64 // payload
+	opID  uint64 // the id its append will carry
+}
+
+func main() {
+	gate := sched.NewStepCounter(500, nil)
+	pool := onll.NewPool(1<<25, gate)
+	in, err := onll.Open(pool, onll.AppendLogSpec(), onll.Config{NProcs: processors})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each processor records WHAT it is about to submit (order id and
+	// the op id it will carry) in its local ledger before invoking.
+	// On real hardware this ledger would itself be durable; here the
+	// point is the protocol, so a Go slice suffices.
+	ledgers := make([][]submission, processors)
+	var wg sync.WaitGroup
+	for p := 0; p < processors; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil && !sched.IsKilled(r) {
+					panic(r)
+				}
+			}()
+			al := onll.AppendLog{H: in.Handle(pid)}
+			for i := 0; i < orders; i++ {
+				order := uint64(pid)<<32 | uint64(i)
+				ledgers[pid] = append(ledgers[pid], submission{order, in.Handle(pid).NextOpID()})
+				if _, _, err := al.Append(order); err != nil {
+					panic(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	fmt.Printf("power failure after %d steps\n", gate.Steps())
+	pool.Crash(onll.DropAll)
+	pool.SetGate(nil)
+
+	in2, report, err := onll.Recover(pool, onll.AppendLogSpec(), onll.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Resolution pass: ship committed orders once; resubmit lost ones.
+	shipped := map[uint64]int{}
+	resubmitted := 0
+	for pid := range ledgers {
+		al := onll.AppendLog{H: in2.Handle(pid)}
+		for _, sub := range ledgers[pid] {
+			if _, ok := report.WasLinearized(sub.opID); ok {
+				shipped[sub.order]++ // side effect happens exactly here
+			} else {
+				if _, _, err := al.Append(sub.order); err != nil {
+					log.Fatal(err)
+				}
+				resubmitted++
+				shipped[sub.order]++
+			}
+		}
+	}
+
+	dupes := 0
+	for order, n := range shipped {
+		if n != 1 {
+			dupes++
+			fmt.Printf("order %#x shipped %d times!\n", order, n)
+		}
+	}
+	total := int(onll.AppendLog{H: in2.Handle(0)}.Len())
+	fmt.Printf("orders shipped: %d (resubmitted after crash: %d)\n", len(shipped), resubmitted)
+	fmt.Printf("durable log now holds %d appends\n", total)
+	if dupes > 0 {
+		log.Fatalf("%d duplicate shipments", dupes)
+	}
+	if len(shipped) != processors*orders {
+		// Processors killed mid-loop never attempted their remaining
+		// orders; that is expected. Check only attempted ones.
+		fmt.Printf("(%d orders were never attempted before the crash)\n",
+			processors*orders-len(shipped))
+	}
+	fmt.Println("every attempted order shipped exactly once — detectable execution at one fence per append")
+}

@@ -1,0 +1,155 @@
+// queue: a durable producer/consumer work queue.
+//
+// Producers enqueue jobs, consumers dequeue and "execute" them. A crash
+// hits mid-stream; after recovery the example proves the exactly-once
+// accounting a durable queue gives you: every job is either still in
+// the queue, or its dequeue committed — never both, never neither (for
+// jobs whose enqueue committed).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	onll "repro"
+	"repro/internal/sched"
+)
+
+const (
+	producers = 2
+	consumers = 2
+	nprocs    = producers + consumers
+	jobs      = 60 // per producer
+)
+
+func main() {
+	gate := sched.NewStepCounter(2000, nil) // crash mid-stream
+	pool := onll.NewPool(1<<25, gate)
+	in, err := onll.Open(pool, onll.QueueSpec(), onll.Config{NProcs: nprocs})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	enqueuedIDs := map[uint64]uint64{} // op id -> job payload
+	dequeued := map[uint64]bool{}      // payload -> consumed pre-crash (completed deqs)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			defer swallowKill()
+			q := onll.Queue{H: in.Handle(pid)}
+			for i := 0; i < jobs; i++ {
+				payload := uint64(pid)<<32 | uint64(i)
+				id := in.Handle(pid).NextOpID()
+				mu.Lock()
+				enqueuedIDs[id] = payload
+				mu.Unlock()
+				if _, _, err := q.Enq(payload); err != nil {
+					panic(err)
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			defer swallowKill()
+			q := onll.Queue{H: in.Handle(pid)}
+			for {
+				v, _, err := q.Deq()
+				if err != nil {
+					panic(err)
+				}
+				if v == onll.RetEmpty {
+					return
+				}
+				mu.Lock()
+				dequeued[v] = true
+				mu.Unlock()
+			}
+		}(producers + c)
+	}
+	wg.Wait()
+
+	fmt.Printf("crash after %d steps\n", gate.Steps())
+	pool.Crash(onll.DropAll)
+	pool.SetGate(nil)
+	in2, report, err := onll.Recover(pool, onll.QueueSpec(), onll.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := onll.Queue{H: in2.Handle(0)}
+
+	// Drain the recovered queue.
+	inQueue := map[uint64]bool{}
+	for {
+		v, _, err := q.Deq()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v == onll.RetEmpty {
+			break
+		}
+		if inQueue[v] {
+			log.Fatalf("job %#x recovered twice in the queue", v)
+		}
+		inQueue[v] = true
+	}
+
+	committedEnq, lostEnq, consumed, violations := 0, 0, 0, 0
+	for id, payload := range enqueuedIDs {
+		if _, ok := report.WasLinearized(id); !ok {
+			lostEnq++
+			if inQueue[payload] {
+				log.Fatalf("job %#x survived although its enqueue never committed", payload)
+			}
+			continue
+		}
+		committedEnq++
+		inQ := inQueue[payload]
+		wasConsumed := dequeued[payload]
+		switch {
+		case inQ && wasConsumed:
+			// Consumed pre-crash: the dequeue completed, so it must be
+			// durable — the job must NOT reappear.
+			violations++
+			fmt.Printf("VIOLATION: job %#x consumed pre-crash but recovered in queue\n", payload)
+		case inQ || wasConsumed:
+			consumed += b2i(wasConsumed)
+		default:
+			// Enqueue committed, job absent, never consumed by a
+			// completed dequeue: its dequeue was in flight at the
+			// crash and committed (allowed: linearized, no response).
+			consumed++
+		}
+	}
+	fmt.Printf("enqueues committed: %d, in-flight enqueues lost: %d\n", committedEnq, lostEnq)
+	fmt.Printf("jobs consumed (incl. in-flight committed dequeues): %d, still queued: %d\n",
+		consumed, len(inQueue))
+	if violations > 0 {
+		log.Fatalf("%d exactly-once violations", violations)
+	}
+	if consumed+len(inQueue) != committedEnq {
+		log.Fatalf("accounting broken: %d consumed + %d queued != %d committed",
+			consumed, len(inQueue), committedEnq)
+	}
+	fmt.Println("exactly-once accounting holds across the crash")
+}
+
+func swallowKill() {
+	if r := recover(); r != nil && !sched.IsKilled(r) {
+		panic(r)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

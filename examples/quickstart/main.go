@@ -1,0 +1,42 @@
+// Quickstart: a durable shared counter in ~30 lines.
+//
+// Open a simulated NVM pool, build a durably linearizable counter with
+// the ONLL universal construction, increment it from two processes,
+// crash, recover, and observe that nothing completed was lost — at a
+// cost of exactly one persistent fence per increment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	onll "repro"
+)
+
+func main() {
+	pool := onll.NewPool(1<<24, nil)
+	in, err := onll.Open(pool, onll.CounterSpec(), onll.Config{NProcs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c0 := onll.Counter{H: in.Handle(0)}
+	c1 := onll.Counter{H: in.Handle(1)}
+	for i := 0; i < 5; i++ {
+		c0.Inc()
+		c1.Inc()
+	}
+	fmt.Println("counter before crash:", c0.Get()) // 10
+
+	pool.Crash(onll.DropAll) // power failure: caches gone
+
+	in2, report, err := onll.Recover(pool, onll.CounterSpec(), onll.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := onll.Counter{H: in2.Handle(0)}
+	fmt.Println("counter after recovery:", c.Get())      // 10
+	fmt.Println("operations recovered:", report.LastIdx) // 10
+	fmt.Println("persistent fences used (10 updates + 6 one-time setup):",
+		pool.TotalStats().PersistentFences)
+}

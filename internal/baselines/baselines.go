@@ -1,0 +1,55 @@
+// Package baselines implements the comparison points the paper argues
+// against, so the experiments can show where ONLL's single fence wins:
+//
+//   - Eager: a universal construction in the style the paper attributes
+//     to prior work (Izraelevitz et al. [29], Section 4.1 discussion):
+//     an operation is persisted, fenced, then linearized, and the
+//     linearization point itself is persisted with a second fence before
+//     the operation returns; readers must persist the linearization they
+//     observed before returning (one fence per read). Two persistent
+//     fences per update, one per read.
+//
+//   - FlatCombining: the lock-based design of the paper's Section 8
+//     discussion (after Hendler et al. [19] and Cohen et al. [12]): a
+//     combiner applies a whole batch of announced operations with a
+//     single persistent fence. Fences per operation can drop below one —
+//     but every pending operation waits while the combiner fences, so
+//     all of them pay the fence latency, and the construction is
+//     blocking, not lock-free.
+//
+//   - Naive: the strawman that durably rewrites the whole object state
+//     on every update with a fence per cache line. It shows what the
+//     fence-count lens is measuring.
+//
+// All baselines implement durable linearizability over the same
+// simulated NVM (internal/pmem) and the same sequential specifications
+// (internal/spec) as ONLL, including crash recovery, so the comparisons
+// are apples-to-apples.
+package baselines
+
+import (
+	"repro/internal/core"
+)
+
+// Object is the minimal durable-object interface shared by ONLL and the
+// baselines, used by the benchmark harness.
+type Object interface {
+	// Update executes an update operation as process pid.
+	Update(pid int, code uint64, args ...uint64) (uint64, error)
+	// Read executes a read-only operation as process pid.
+	Read(pid int, code uint64, args ...uint64) uint64
+}
+
+// ONLLAdapter adapts a core.Instance to the Object interface.
+type ONLLAdapter struct{ In *core.Instance }
+
+// Update implements Object.
+func (a ONLLAdapter) Update(pid int, code uint64, args ...uint64) (uint64, error) {
+	ret, _, err := a.In.Handle(pid).Update(code, args...)
+	return ret, err
+}
+
+// Read implements Object.
+func (a ONLLAdapter) Read(pid int, code uint64, args ...uint64) uint64 {
+	return a.In.Handle(pid).Read(code, args...)
+}

@@ -1,0 +1,158 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Naive is the strawman durable object: every update serializes the
+// whole object state into NVM under a global lock, fencing EVERY cache
+// line individually (the "clflush-style" discipline the paper's Section
+// 2 explains is expensive), then durably flips a commit selector between
+// two state areas (shadow paging). Persistent fences per update grow
+// linearly with the state size.
+//
+// It is durably linearizable — updates are fully durable before they
+// return and the commit flip is atomic — just profligate with fences,
+// which is exactly what experiments E6/E7 visualize.
+type Naive struct {
+	pool *pmem.Pool
+	sp   spec.Spec
+
+	mu      sync.Mutex
+	state   spec.State
+	area    [2]pmem.Addr
+	areaCap int // words per area
+	sel     pmem.Addr
+	current uint64 // which area is committed
+}
+
+const (
+	naiveRootMagic = 0x4e414956 // "NAIV"
+	// Root slots 48+ keep clear of core's per-process log slots (8..47).
+	naiveMagicSlot = 48
+	naiveSelSlot   = 49
+	naiveMetaWords = 2 // [0] payload length, [1] generation
+)
+
+// NewNaive builds a fresh naive object with room for states up to
+// maxStateWords words.
+func NewNaive(pool *pmem.Pool, sp spec.Spec, maxStateWords int) (*Naive, error) {
+	if maxStateWords < 1 {
+		return nil, errors.New("baselines: maxStateWords < 1")
+	}
+	n := &Naive{pool: pool, sp: sp, state: sp.New(), areaCap: maxStateWords}
+	sel, err := pool.Alloc(pmem.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	n.sel = sel
+	for i := range n.area {
+		a, err := pool.Alloc((maxStateWords + naiveMetaWords) * pmem.WordSize)
+		if err != nil {
+			return nil, err
+		}
+		n.area[i] = a
+	}
+	// Commit an initial (empty-state) snapshot into area 0.
+	if err := n.writeArea(pmem.RootSystemPID, 0, n.state.Snapshot()); err != nil {
+		return nil, err
+	}
+	pool.Store(pmem.RootSystemPID, sel, 0)
+	pool.Persist(pmem.RootSystemPID, sel, pmem.WordSize)
+	pool.SetRoot(naiveSelSlot, uint64(sel))
+	rootWords := []uint64{uint64(n.area[0]), uint64(n.area[1]), uint64(maxStateWords)}
+	for i, w := range rootWords {
+		pool.SetRoot(naiveSelSlot+1+i, w)
+	}
+	pool.SetRoot(naiveMagicSlot, naiveRootMagic)
+	return n, nil
+}
+
+// RecoverNaive rebuilds the object from the committed area.
+func RecoverNaive(pool *pmem.Pool, sp spec.Spec) (*Naive, error) {
+	if pool.Root(naiveMagicSlot) != naiveRootMagic {
+		return nil, errors.New("baselines: pool has no naive root")
+	}
+	n := &Naive{pool: pool, sp: sp, state: sp.New()}
+	n.sel = pmem.Addr(pool.Root(naiveSelSlot))
+	n.area[0] = pmem.Addr(pool.Root(naiveSelSlot + 1))
+	n.area[1] = pmem.Addr(pool.Root(naiveSelSlot + 2))
+	n.areaCap = int(pool.Root(naiveSelSlot + 3))
+	n.current = pool.Load(pmem.RootSystemPID, n.sel)
+	if n.current > 1 {
+		return nil, fmt.Errorf("baselines: corrupt commit selector %d", n.current)
+	}
+	words := n.readArea(pmem.RootSystemPID, int(n.current))
+	if err := n.state.Restore(words); err != nil {
+		return nil, fmt.Errorf("baselines: naive recovery: %w", err)
+	}
+	return n, nil
+}
+
+// writeArea durably stores words into area k with a fence per line.
+func (n *Naive) writeArea(pid, k int, words []uint64) error {
+	if len(words) > n.areaCap {
+		return fmt.Errorf("baselines: state of %d words exceeds naive capacity %d", len(words), n.areaCap)
+	}
+	base := n.area[k]
+	n.pool.Store(pid, base, uint64(len(words)))
+	n.pool.Store(pid, base+pmem.WordSize, n.pool.Load(pid, base+pmem.WordSize)+1)
+	for i, w := range words {
+		addr := base + pmem.Addr((naiveMetaWords+i)*pmem.WordSize)
+		n.pool.Store(pid, addr, w)
+		// The naive discipline: strongly-ordered flush per line (a
+		// clflush): flush + immediate fence, every line boundary.
+		if (naiveMetaWords+i)%pmem.LineWords == pmem.LineWords-1 || i == len(words)-1 {
+			n.pool.Flush(pid, addr)
+			n.pool.Fence(pid)
+		}
+	}
+	n.pool.Persist(pid, base, naiveMetaWords*pmem.WordSize)
+	return nil
+}
+
+func (n *Naive) readArea(pid, k int) []uint64 {
+	base := n.area[k]
+	ln := n.pool.Load(pid, base)
+	if ln > uint64(n.areaCap) {
+		return nil
+	}
+	words := make([]uint64, ln)
+	for i := range words {
+		words[i] = n.pool.Load(pid, base+pmem.Addr((naiveMetaWords+i)*pmem.WordSize))
+	}
+	return words
+}
+
+// Update implements Object.
+func (n *Naive) Update(pid int, code uint64, args ...uint64) (uint64, error) {
+	op := spec.Op{Code: code}
+	copy(op.Args[:], args)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ret := n.state.Apply(op)
+	next := 1 - int(n.current)
+	if err := n.writeArea(pid, next, n.state.Snapshot()); err != nil {
+		return 0, err
+	}
+	// Durably flip the selector (one more persistent fence).
+	n.pool.Store(pid, n.sel, uint64(next))
+	n.pool.Persist(pid, n.sel, pmem.WordSize)
+	n.current = uint64(next)
+	return ret, nil
+}
+
+// Read implements Object. Reads serve the committed volatile state (the
+// lock makes them blocking, like everything here).
+func (n *Naive) Read(pid int, code uint64, args ...uint64) uint64 {
+	op := spec.Op{Code: code}
+	copy(op.Args[:], args)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state.Read(op)
+}

@@ -1,0 +1,384 @@
+// Package check verifies the safety properties the paper claims:
+// linearizability (Definition 5.4), durable linearizability (Definition
+// 5.6) and detectable execution, against recorded concurrent histories
+// with injected full-system crashes.
+//
+// Histories are recorded with a global logical clock; the recorded
+// invocation/response window of every operation contains its real
+// window, so a history judged non-linearizable here is truly broken,
+// and the randomized harness can drive millions of scheduled steps
+// through the implementations and fail loudly on any violation.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+// OpRecord is one operation instance in a recorded history.
+type OpRecord struct {
+	OpID     uint64 // the implementation's unique op id (0 for reads)
+	Token    int    // history-local identifier
+	PID      int
+	Code     uint64
+	Args     [3]uint64
+	IsUpdate bool
+	Inv      uint64 // logical invocation time
+	Ret      uint64 // logical response time; 0 while pending
+	RetVal   uint64
+}
+
+// Completed reports whether the operation has a response.
+func (o *OpRecord) Completed() bool { return o.Ret != 0 }
+
+// Op converts the record to a spec.Op.
+func (o *OpRecord) Op() spec.Op {
+	return spec.Op{Code: o.Code, Args: o.Args, ID: o.OpID}
+}
+
+// History records events from concurrently running processes.
+type History struct {
+	clock atomic.Uint64
+	mu    sync.Mutex
+	ops   []*OpRecord
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Invoke records the invocation of an operation and returns its token.
+// opID should be the id the operation will carry if it takes effect
+// (core.Handle.NextOpID for updates; 0 for reads), so that in-flight
+// operations resurfacing after a crash can be attributed.
+func (h *History) Invoke(pid int, code uint64, args []uint64, isUpdate bool, opID uint64) int {
+	rec := &OpRecord{PID: pid, Code: code, IsUpdate: isUpdate, OpID: opID}
+	copy(rec.Args[:], args)
+	rec.Inv = h.clock.Add(1)
+	h.mu.Lock()
+	rec.Token = len(h.ops)
+	h.ops = append(h.ops, rec)
+	h.mu.Unlock()
+	return rec.Token
+}
+
+// SetID attributes an operation id to a recorded op after the fact
+// (for implementations whose ids are only known once the op returns).
+func (h *History) SetID(token int, opID uint64) {
+	h.mu.Lock()
+	h.ops[token].OpID = opID
+	h.mu.Unlock()
+}
+
+// Return records the response of the operation with the given token.
+func (h *History) Return(token int, retVal uint64) {
+	t := h.clock.Add(1)
+	h.mu.Lock()
+	rec := h.ops[token]
+	rec.Ret, rec.RetVal = t, retVal
+	h.mu.Unlock()
+}
+
+// Ops returns a copy of all recorded operations.
+func (h *History) Ops() []OpRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]OpRecord, len(h.ops))
+	for i, r := range h.ops {
+		out[i] = *r
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Linearizability (Wing–Gong style DFS with memoization).
+// ---------------------------------------------------------------------
+
+// Linearizable reports whether the completed operations of ops form a
+// linearizable history of sp; pending operations (no response) may be
+// linearized or dropped. Suitable for small histories (≈ up to 20 ops);
+// the state space is pruned by memoizing (linearized-set, state) pairs.
+func Linearizable(sp spec.Spec, ops []OpRecord) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic("check: history too large for bitmask search")
+	}
+	seen := map[string]bool{}
+	var rec func(done uint64, st spec.State) bool
+	rec = func(done uint64, st spec.State) bool {
+		allDone := true
+		for i := range ops {
+			if done&(1<<uint(i)) == 0 && ops[i].Completed() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return true
+		}
+		key := stateKey(done, st)
+		if v, ok := seen[key]; ok {
+			return v
+		}
+		// minRet: the earliest response among unlinearized completed
+		// ops; only ops invoked before it can linearize next.
+		minRet := ^uint64(0)
+		for i := range ops {
+			if done&(1<<uint(i)) == 0 && ops[i].Completed() && ops[i].Ret < minRet {
+				minRet = ops[i].Ret
+			}
+		}
+		ok := false
+		for i := range ops {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			o := &ops[i]
+			if o.Inv > minRet {
+				continue // something finished entirely before o began
+			}
+			st2 := st.Clone()
+			var got uint64
+			if o.IsUpdate {
+				got = st2.Apply(o.Op())
+			} else {
+				got = st2.Read(o.Op())
+			}
+			if o.Completed() && got != o.RetVal {
+				continue // this linearization contradicts the response
+			}
+			if rec(done|1<<uint(i), st2) {
+				ok = true
+				break
+			}
+		}
+		seen[key] = ok
+		return ok
+	}
+	return rec(0, sp.New())
+}
+
+func stateKey(done uint64, st spec.State) string {
+	snap := st.Snapshot()
+	b := make([]byte, 0, 8+len(snap)*8)
+	for s := done; ; {
+		b = append(b, byte(s))
+		s >>= 8
+		if s == 0 {
+			break
+		}
+	}
+	b = append(b, 0xff)
+	for _, w := range snap {
+		for k := 0; k < 8; k++ {
+			b = append(b, byte(w>>uint(8*k)))
+		}
+	}
+	return string(b)
+}
+
+// ---------------------------------------------------------------------
+// Durable linearizability (Definition 5.6) + detectability.
+// ---------------------------------------------------------------------
+
+// Recovered abstracts what a recovery routine reports: the surviving
+// update operations in their linearization order. core.Report satisfies
+// it via ReportAdapter in the tests (kept abstract here so baselines can
+// be validated with the same checker).
+type Recovered struct {
+	// Ordered is the recovered update sequence, oldest first (the
+	// operations AFTER any compaction snapshot).
+	Ordered []spec.Op
+	// ByID maps op id -> 1-based position in Ordered.
+	ByID map[uint64]int
+	// BaseState, if non-nil, is the compaction snapshot the sequence
+	// starts from (replay restores it before applying Ordered).
+	BaseState []uint64
+	// CoveredSeq maps process id -> highest op sequence folded into
+	// BaseState; ops at or below it were linearized before the crash
+	// but their individual records were compacted away.
+	CoveredSeq map[int]uint64
+}
+
+// MakeRecovered builds a Recovered from an ordered op slice.
+func MakeRecovered(ops []spec.Op) *Recovered {
+	r := &Recovered{Ordered: ops, ByID: make(map[uint64]int, len(ops))}
+	for i, op := range ops {
+		r.ByID[op.ID] = i + 1
+	}
+	return r
+}
+
+// covered reports whether op id is inside the compacted prefix.
+func (r *Recovered) covered(id uint64) bool {
+	if len(r.CoveredSeq) == 0 || id == 0 {
+		return false
+	}
+	pid, seq := spec.SplitID(id)
+	return pid >= 0 && seq > 0 && seq <= r.CoveredSeq[pid]
+}
+
+// DurabilityViolation describes a failed durable-linearizability check.
+type DurabilityViolation struct {
+	Rule   string
+	Detail string
+}
+
+func (v *DurabilityViolation) Error() string {
+	return fmt.Sprintf("durable linearizability violated (%s): %s", v.Rule, v.Detail)
+}
+
+// CheckDurable validates Definition 5.6 for a crashed execution: ops is
+// the pre-crash history (updates and reads, possibly pending), rec is
+// what recovery reported. It checks:
+//
+//	R1 completed-survive: every completed update is in the recovered
+//	   sequence (no completed operation may be erased by a crash);
+//	R2 no-invention: every recovered update was actually invoked;
+//	R3 order: the recovered order respects real-time precedence among
+//	   updates (consistent cut + linearizability condition L2);
+//	R4 returns: replaying the recovered sequence reproduces the return
+//	   value of every completed update — the linearization recovery
+//	   committed to really is the one the live run exposed;
+//	R5 reads: every completed read's value matches some prefix of the
+//	   recovered sequence that is plausible within the read's window.
+func CheckDurable(sp spec.Spec, ops []OpRecord, rec *Recovered) error {
+	// Index invoked updates by op id.
+	invoked := map[uint64]*OpRecord{}
+	for i := range ops {
+		o := &ops[i]
+		if o.IsUpdate && o.OpID != 0 {
+			invoked[o.OpID] = o
+		}
+	}
+	// R1 (pending ops have OpID recorded only if the driver knew it;
+	// completed updates always do).
+	for i := range ops {
+		o := &ops[i]
+		if o.IsUpdate && o.Completed() {
+			if o.OpID == 0 {
+				return &DurabilityViolation{"R1", fmt.Sprintf("completed update token %d has no id", o.Token)}
+			}
+			if _, ok := rec.ByID[o.OpID]; !ok && !rec.covered(o.OpID) {
+				return &DurabilityViolation{"R1", fmt.Sprintf("completed update %#x (token %d) erased by crash", o.OpID, o.Token)}
+			}
+		}
+	}
+	// R2.
+	for id := range rec.ByID {
+		if _, ok := invoked[id]; !ok {
+			return &DurabilityViolation{"R2", fmt.Sprintf("recovered update %#x was never invoked", id)}
+		}
+	}
+	// R3a for the compacted prefix: a covered op precedes every ordered
+	// op in the recovered linearization, so no ordered op may have
+	// completed before a covered op was invoked.
+	for id, a := range invoked {
+		if !rec.covered(id) {
+			continue
+		}
+		for bid := range rec.ByID {
+			b := invoked[bid]
+			if b.Completed() && b.Ret < a.Inv {
+				return &DurabilityViolation{"R3", fmt.Sprintf(
+					"update %#x completed before covered update %#x was invoked, yet follows it in recovery",
+					bid, id)}
+			}
+		}
+	}
+	// R3: if update a completed before update b was invoked and both
+	// survived, a must precede b in the recovered order.
+	var surv []*OpRecord
+	for id := range rec.ByID {
+		surv = append(surv, invoked[id])
+	}
+	sort.Slice(surv, func(i, j int) bool { return rec.ByID[surv[i].OpID] < rec.ByID[surv[j].OpID] })
+	for i := range surv {
+		for j := range surv {
+			a, b := surv[i], surv[j]
+			if a.Completed() && a.Ret < b.Inv && rec.ByID[a.OpID] > rec.ByID[b.OpID] {
+				return &DurabilityViolation{"R3", fmt.Sprintf(
+					"update %#x (pos %d) precedes %#x (pos %d) in real time but follows it in recovery",
+					a.OpID, rec.ByID[a.OpID], b.OpID, rec.ByID[b.OpID])}
+			}
+		}
+	}
+	// R4 + prefix states for R5. Replay starts from the compaction
+	// snapshot when there is one.
+	st := sp.New()
+	if rec.BaseState != nil {
+		if err := st.Restore(rec.BaseState); err != nil {
+			return &DurabilityViolation{"R4", fmt.Sprintf("recovered base state unusable: %v", err)}
+		}
+	}
+	prefixes := make([]spec.State, 0, len(rec.Ordered)+1)
+	prefixes = append(prefixes, st.Clone())
+	for i, op := range rec.Ordered {
+		got := st.Apply(op)
+		prefixes = append(prefixes, st.Clone())
+		if o := invoked[op.ID]; o != nil && o.Completed() && o.RetVal != got {
+			return &DurabilityViolation{"R4", fmt.Sprintf(
+				"update %#x (pos %d) returned %d live but %d under the recovered order",
+				op.ID, i+1, o.RetVal, got)}
+		}
+	}
+	// R5: a completed read must match the state of some recovered
+	// prefix i with lo <= i <= hi, where lo counts updates that
+	// completed before the read was invoked (they must be visible) and
+	// hi counts updates invoked before the read returned (nothing else
+	// can be visible).
+	for k := range ops {
+		r := &ops[k]
+		if r.IsUpdate || !r.Completed() {
+			continue
+		}
+		// Compaction caveat: the snapshot collapses its prefix into a
+		// single state. This read can only be compared against that
+		// state if every compacted-away update was GUARANTEED visible
+		// to it (completed strictly before the read was invoked);
+		// otherwise the intermediate states the read may legitimately
+		// have seen no longer exist and the read is unverifiable (not
+		// wrong) — skip it.
+		if rec.BaseState != nil {
+			unverifiable := false
+			for id, u := range invoked {
+				if rec.covered(id) && !(u.Completed() && u.Ret < r.Inv) {
+					unverifiable = true
+					break
+				}
+			}
+			if unverifiable {
+				continue
+			}
+		}
+		lo, hi := 0, len(rec.Ordered)
+		for _, u := range surv {
+			pos := rec.ByID[u.OpID]
+			if u.Completed() && u.Ret < r.Inv && pos > lo {
+				lo = pos
+			}
+			if u.Inv > r.Ret && pos-1 < hi {
+				hi = pos - 1
+			}
+		}
+		matched := false
+		for i := lo; i <= hi && i < len(prefixes); i++ {
+			if prefixes[i].Read(r.Op()) == r.RetVal {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return &DurabilityViolation{"R5", fmt.Sprintf(
+				"read token %d (code %d) returned %d, impossible in window [%d,%d] of the recovered order",
+				r.Token, r.Code, r.RetVal, lo, hi)}
+		}
+	}
+	return nil
+}

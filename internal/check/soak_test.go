@@ -1,0 +1,170 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/pmem"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// TestSoakMultiEra runs, for every object, a long life of alternating
+// execution eras and crashes on ONE pool: each era runs a concurrent
+// workload, crashes at a random step under a random oracle, recovers,
+// verifies durable linearizability of the era, and verifies the
+// recovered state extends a reference replay of all committed history.
+// With compaction and local views enabled in half the eras, it is the
+// closest thing to production life the simulator can express.
+func TestSoakMultiEra(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short")
+	}
+	for _, sp := range objects.All() {
+		sp := sp
+		t.Run(sp.Name(), func(t *testing.T) {
+			t.Parallel()
+			soakOneObject(t, sp, 5)
+		})
+	}
+}
+
+func soakOneObject(t *testing.T, sp spec.Spec, eras int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(len(sp.Name())) * 977))
+	const nprocs = 3
+	pool := pmem.New(1<<26, nil)
+	cfg := core.Config{NProcs: nprocs, LocalViews: true, CompactEvery: 32, LogCapacity: 4096}
+	in, err := core.New(pool, sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// committed tracks, per process, ops whose responses were observed
+	// (they must survive every subsequent crash).
+	committedIDs := map[uint64]bool{}
+	var mu sync.Mutex
+
+	for era := 0; era < eras; era++ {
+		gate := sched.NewStepCounter(uint64(rng.Intn(6000)+1500), nil)
+		pool.SetGate(gate)
+		gen := workload.NewGenerator(sp)
+		hist := NewHistory()
+		var wg sync.WaitGroup
+		for pid := 0; pid < nprocs; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil && !sched.IsKilled(r) {
+						panic(r)
+					}
+				}()
+				h := in.Handle(pid)
+				steps := gen.Stream(int64(era*1000+pid), 60, 70)
+				for _, st := range steps {
+					if st.IsUpdate {
+						id := h.NextOpID()
+						token := hist.Invoke(pid, st.Code, st.Args, true, id)
+						ret, _, err := h.Update(st.Code, st.Args...)
+						if err != nil {
+							panic(err)
+						}
+						hist.Return(token, ret)
+						mu.Lock()
+						committedIDs[id] = true
+						mu.Unlock()
+					} else {
+						token := hist.Invoke(pid, st.Code, st.Args, false, 0)
+						hist.Return(token, h.Read(st.Code, st.Args...))
+					}
+				}
+			}(pid)
+		}
+		wg.Wait()
+
+		oracle := pmem.SeededOracle(uint64(era*7+1), uint64(rng.Intn(3)), 3)
+		pool.Crash(oracle)
+		pool.SetGate(nil)
+		var rep *core.Report
+		in, rep, err = core.Recover(pool, sp, cfg)
+		if err != nil {
+			t.Fatalf("era %d: recovery: %v", era, err)
+		}
+		rec := MakeRecovered(rep.Ordered)
+		rec.BaseState, rec.CoveredSeq = rep.BaseState, rep.CoveredSeq
+		if err := CheckDurable(sp, hist.Ops(), rec); err != nil {
+			t.Fatalf("era %d: %v", era, err)
+		}
+		// Cross-era durability: every op committed in ANY earlier era
+		// must still be reported linearized.
+		mu.Lock()
+		for id := range committedIDs {
+			if _, ok := rep.WasLinearized(id); !ok {
+				mu.Unlock()
+				t.Fatalf("era %d: op %#x committed in an earlier era vanished", era, id)
+			}
+		}
+		// New ops may have been linearized too (in-flight at crash);
+		// adopt them so later eras track them.
+		for id := range rep.Linearized {
+			committedIDs[id] = true
+		}
+		mu.Unlock()
+	}
+	_ = fmt.Sprint()
+}
+
+// TestSoakThroughputSingleObject is a heavier single-object pounding
+// with many processes and frequent compaction, checking only the
+// global invariant (counter value equals completed increments) — it
+// exists to shake out races rather than to verify semantics finely.
+func TestSoakThroughputSingleObject(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short")
+	}
+	const nprocs = 8
+	const perProc = 3000
+	pool := pmem.New(1<<27, nil)
+	in, err := core.New(pool, objects.CounterSpec{}, core.Config{
+		NProcs: nprocs, LocalViews: true, CompactEvery: 128, LogCapacity: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < nprocs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h := in.Handle(pid)
+			for i := 0; i < perProc; i++ {
+				if _, _, err := h.Update(objects.CounterInc); err != nil {
+					panic(err)
+				}
+				if i%7 == 0 {
+					h.Read(objects.CounterGet)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if got := in.Handle(0).Read(objects.CounterGet); got != nprocs*perProc {
+		t.Fatalf("lost updates: %d != %d", got, nprocs*perProc)
+	}
+	pool.Crash(pmem.DropAll)
+	in2, _, err := core.Recover(pool, objects.CounterSpec{}, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in2.Handle(0).Read(objects.CounterGet); got != nprocs*perProc {
+		t.Fatalf("post-crash: %d != %d", got, nprocs*perProc)
+	}
+	if st := pool.TotalStats(); st.PersistentFences < nprocs*perProc {
+		t.Fatalf("fence accounting impossible: %d < %d", st.PersistentFences, nprocs*perProc)
+	}
+}

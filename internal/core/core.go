@@ -1,0 +1,635 @@
+// Package core implements ONLL ("Order Now, Linearize Later"), the
+// universal construction of the paper (Sections 3–5): given any
+// deterministic sequential object, it produces a lock-free, durably
+// linearizable — in fact detectably executable — persistent object that
+// issues at most ONE persistent fence per update operation and NO
+// persistent fences for read-only operations (Theorem 5.1).
+//
+// An update proceeds in three stages (Section 3.2):
+//
+//	order     — a descriptor node is appended to the shared transient
+//	            execution trace (internal/trace), fixing the operation's
+//	            linearization order before anything is persisted;
+//	persist   — the operation, together with every preceding operation
+//	            still in the fuzzy window (operations not yet guaranteed
+//	            durable), is appended to the process's persistent log
+//	            (internal/plog) with a single persistent fence; helping
+//	            here is what keeps delayed processes from blocking
+//	            recovery consistency;
+//	linearize — the node's available flag is set, making the operation
+//	            visible to readers. The linearization point of the
+//	            operation is the earlier of this store and the flag-set
+//	            of any later operation (Section 5.2).
+//
+// A read-only operation walks the trace from the tail to the latest
+// available node and computes its value on that prefix; it never writes
+// shared memory or NVM and never fences.
+//
+// Recovery (Listing 5) rebuilds the trace from the persistent logs of
+// all processes, yielding exactly the operations linearized before the
+// crash, in linearization order (Proposition 5.10), and reports which
+// operation ids survived (detectable execution).
+//
+// The Section 8 extensions are implemented as options: per-process local
+// views (reads cost the lag, not the history length), wait-free ordering
+// (a helping execution trace), and compaction (snapshot records that
+// truncate the logs and cut the trace, bounding memory).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/plog"
+	"repro/internal/pmem"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Gate point names emitted by the construction itself (the substrates
+// emit their own: pmem.*, trace.*). Deterministic schedules key on them.
+const (
+	PointOrdered   = "onll.ordered"   // after the order stage
+	PointPersisted = "onll.persisted" // after the persist stage (the fence)
+	PointReturn    = "op.return"      // just before an operation returns
+)
+
+// Root-table layout used to locate the construction after a crash.
+const (
+	rootMagicSlot  = 0
+	rootNProcsSlot = 1
+	rootLogBase    = 8 // slots 8..8+n-1 hold per-process log addresses
+	rootMagic      = 0x4f4e4c4c0001
+)
+
+// MaxProcs bounds the number of simulated processes per instance
+// (MAX_PROCESSES in the paper).
+const MaxProcs = 40
+
+// Config parameterizes New and Recover.
+type Config struct {
+	// NProcs is the number of processes (and per-process logs).
+	NProcs int
+	// LogCapacity is the number of record slots per per-process log.
+	// Zero selects a default suitable for the test workloads.
+	LogCapacity int
+	// Gate interposes deterministic scheduling / crash injection; nil
+	// means free-running.
+	Gate sched.Gate
+	// WaitFree selects the wait-free execution trace (Section 8).
+	WaitFree bool
+	// LocalViews gives each handle a cached state so reads replay only
+	// the lag since the handle last looked (Section 8). Compaction
+	// requires local views.
+	LocalViews bool
+	// CompactEvery, if positive, makes each handle write a snapshot
+	// record and truncate its log every CompactEvery updates, and cut
+	// the trace behind the snapshot (Section 8 memory reclamation).
+	CompactEvery int
+
+	// The Unsafe* options deliberately BREAK the construction for the
+	// ablation experiments (E13): they demonstrate that the design
+	// decisions the paper derives in Section 3.1 are load-bearing, by
+	// letting the durability checker catch the resulting violations.
+	// Never enable them outside experiments.
+
+	// UnsafeNoHelping makes updates persist only their own operation,
+	// not the fuzzy window. A delayed process then leaves a gap that
+	// strands every later persisted operation at recovery.
+	UnsafeNoHelping bool
+	// UnsafeLinearizeFirst sets the available flag BEFORE the persist
+	// stage (the ordering the paper proves impossible for fence-free
+	// readers): a reader may then expose an operation that a crash
+	// erases.
+	UnsafeLinearizeFirst bool
+}
+
+func (c *Config) fill() error {
+	if c.NProcs < 1 || c.NProcs > MaxProcs {
+		return fmt.Errorf("core: NProcs %d out of range [1,%d]", c.NProcs, MaxProcs)
+	}
+	if c.LogCapacity == 0 {
+		c.LogCapacity = 1 << 12
+	}
+	if c.Gate == nil {
+		c.Gate = sched.NopGate{}
+	}
+	if c.CompactEvery > 0 {
+		c.LocalViews = true
+	}
+	return nil
+}
+
+// Instance is one durably linearizable object produced by the universal
+// construction. Obtain per-process Handles with Handle; an Instance's
+// methods other than Handle are safe for concurrent use.
+type Instance struct {
+	cfg   Config
+	sp    spec.Spec
+	pool  *pmem.Pool
+	gate  sched.Gate
+	tr    trace.Interface
+	logs  []*plog.Log
+	hands []*Handle
+}
+
+// New builds a fresh instance of sp on pool. Setup durably writes the
+// root table and log headers; call pool.ResetStats afterwards if you are
+// counting steady-state fences.
+func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
+	if cfg.WaitFree {
+		in.tr = trace.NewWaitFree(cfg.Gate, cfg.NProcs)
+	} else {
+		in.tr = trace.NewLockFree(cfg.Gate)
+	}
+	for pid := 0; pid < cfg.NProcs; pid++ {
+		l, err := plog.Create(pool, pid, cfg.LogCapacity, cfg.NProcs)
+		if err != nil {
+			return nil, fmt.Errorf("core: creating log for p%d: %w", pid, err)
+		}
+		in.logs = append(in.logs, l)
+		pool.SetRoot(rootLogBase+pid, uint64(l.Base()))
+	}
+	pool.SetRoot(rootNProcsSlot, uint64(cfg.NProcs))
+	pool.SetRoot(rootMagicSlot, rootMagic)
+	in.makeHandles(nil)
+	return in, nil
+}
+
+func (in *Instance) makeHandles(seqs map[int]uint64) {
+	in.hands = make([]*Handle, in.cfg.NProcs)
+	for pid := 0; pid < in.cfg.NProcs; pid++ {
+		h := &Handle{in: in, pid: pid}
+		if seqs != nil {
+			h.seq = seqs[pid]
+		}
+		if in.cfg.LocalViews {
+			h.view = in.sp.New()
+			h.viewSeqs = make([]uint64, in.cfg.NProcs)
+			if base := in.tr.Sentinel(); base.Kind == trace.KindBase {
+				if err := h.view.Restore(base.Snap); err != nil {
+					panic(fmt.Sprintf("core: corrupt recovery base: %v", err))
+				}
+				h.viewIdx = base.Idx()
+				copy(h.viewSeqs, base.Seqs)
+			}
+		}
+		in.hands[pid] = h
+	}
+}
+
+// Spec returns the sequential specification the instance implements.
+func (in *Instance) Spec() spec.Spec { return in.sp }
+
+// Pool returns the instance's persistent pool.
+func (in *Instance) Pool() *pmem.Pool { return in.pool }
+
+// Trace exposes the execution trace for invariant checks and the
+// Figure-1 walkthrough; production code has no reason to touch it.
+func (in *Instance) Trace() trace.Interface { return in.tr }
+
+// Log returns process pid's persistent log (diagnostics).
+func (in *Instance) Log(pid int) *plog.Log { return in.logs[pid] }
+
+// Handle returns the per-process handle for pid. A Handle must only be
+// used by one operation at a time (a process executes one operation at a
+// time; the fuzzy-window bound of Proposition 5.2 depends on it).
+func (in *Instance) Handle(pid int) *Handle {
+	if pid < 0 || pid >= in.cfg.NProcs {
+		panic(fmt.Sprintf("core: pid %d out of range [0,%d)", pid, in.cfg.NProcs))
+	}
+	return in.hands[pid]
+}
+
+// NProcs returns the configured process count.
+func (in *Instance) NProcs() int { return in.cfg.NProcs }
+
+// Handle is process pid's interface to the object.
+type Handle struct {
+	in  *Instance
+	pid int
+	seq uint64 // per-process op sequence for unique ids
+
+	// Local view (Section 8): a cached state reflecting the prefix up
+	// to viewIdx. Private to the process; reads advance it. viewSeqs
+	// tracks, per process, the highest op sequence number applied to
+	// the view — compaction persists it so detectability survives the
+	// collapse of the prefix into a snapshot.
+	view     spec.State
+	viewIdx  uint64
+	viewSeqs []uint64
+
+	sinceCompact int
+	busy         atomic.Bool // guards against misuse (two ops at once)
+}
+
+// PID returns the handle's process id.
+func (h *Handle) PID() int { return h.pid }
+
+// NextOpID returns the id the handle's next Update will carry. History
+// recorders use it to attribute in-flight (crash-interrupted) operations
+// that recovery may nevertheless report as linearized.
+func (h *Handle) NextOpID() uint64 { return spec.MakeID(h.pid, h.seq+1) }
+
+var errBusy = errors.New("core: handle used by two operations concurrently (one process = one operation at a time)")
+
+func (h *Handle) enter() {
+	if !h.busy.CompareAndSwap(false, true) {
+		panic(errBusy)
+	}
+}
+func (h *Handle) exit() { h.busy.Store(false) }
+
+// Update executes the update operation (code, args) through the
+// order/persist/linearize pipeline (paper Listing 3). It returns the
+// operation's return value and its unique id (usable with
+// Report.WasLinearized after a crash). The call issues exactly one
+// persistent fence (plus, every CompactEvery updates, the compaction
+// snapshot's fence).
+func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error) {
+	h.enter()
+	defer h.exit()
+	h.seq++
+	op := spec.Op{Code: code, ID: spec.MakeID(h.pid, h.seq)}
+	copy(op.Args[:], args)
+
+	in := h.in
+	// Order: fix the linearization order by appending to the trace.
+	// The CAS inside is a concurrency fence but no NVM write-back is
+	// pending, so it is not a persistent fence (paper footnote 2).
+	node := trace.NewNode(op)
+	in.tr.Insert(h.pid, node)
+	in.gate.Step(h.pid, PointOrdered)
+
+	// Persist: this operation plus the fuzzy window before it (helping
+	// delayed processes), one log append, ONE persistent fence.
+	fuzzy := trace.GetFuzzyOps(in.gate, h.pid, node)
+	if in.cfg.UnsafeNoHelping {
+		// ABLATION (E13): persist only our own operation.
+		fuzzy = []spec.Op{op}
+	}
+	if in.cfg.UnsafeLinearizeFirst {
+		// ABLATION (E13): linearize before persisting — the ordering
+		// Section 3.1 proves unsound. Readers can now expose this op
+		// before it is durable.
+		in.tr.SetAvailable(h.pid, node)
+	}
+	if _, err = in.logs[h.pid].Append(fuzzy, node.Idx()); err != nil {
+		return 0, op.ID, fmt.Errorf("core: persist stage: %w", err)
+	}
+	in.gate.Step(h.pid, PointPersisted)
+
+	// Linearize: make the operation visible to readers.
+	if !in.cfg.UnsafeLinearizeFirst {
+		in.tr.SetAvailable(h.pid, node)
+	}
+
+	// Compute the return value on the state up to and including node.
+	ret = h.computeUpdate(node)
+
+	if in.cfg.CompactEvery > 0 {
+		h.sinceCompact++
+		if h.sinceCompact >= in.cfg.CompactEvery {
+			h.sinceCompact = 0
+			if cerr := h.compact(node); cerr != nil {
+				err = fmt.Errorf("core: compaction: %w", cerr)
+			}
+		}
+	}
+	in.gate.Step(h.pid, PointReturn)
+	return ret, op.ID, err
+}
+
+// Read executes the read-only operation (code, args) (paper Listing 4).
+// It issues no persistent fence and writes nothing shared.
+func (h *Handle) Read(code uint64, args ...uint64) uint64 {
+	h.enter()
+	defer h.exit()
+	op := spec.Op{Code: code}
+	copy(op.Args[:], args)
+	in := h.in
+	node := trace.LatestAvailableFrom(in.gate, h.pid, in.tr.Tail(h.pid))
+	ret := h.computeRead(node, op)
+	in.gate.Step(h.pid, PointReturn)
+	return ret
+}
+
+// computeUpdate returns node.Op's value on the prefix ending at node,
+// advancing the local view when enabled.
+func (h *Handle) computeUpdate(node *trace.Node) uint64 {
+	if h.view != nil && h.viewIdx < node.Idx() {
+		return h.advanceView(node)
+	}
+	// Fresh replay (no local views, or — defensively — a view that has
+	// somehow moved past node).
+	st := h.in.sp.New()
+	nodes, base := trace.CollectBack(node, 0)
+	if base != nil {
+		if err := st.Restore(base.Snap); err != nil {
+			panic(fmt.Sprintf("core: corrupt base snapshot: %v", err))
+		}
+	}
+	ret := spec.RetOK
+	for _, n := range nodes {
+		ret = st.Apply(n.Op)
+	}
+	return ret
+}
+
+// computeRead returns op's value on the prefix ending at node.
+func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
+	if h.view != nil {
+		if h.viewIdx < node.Idx() {
+			h.advanceView(node)
+		}
+		// If viewIdx > node.Idx(), the view already reflects
+		// operations this process has itself observed as linearized;
+		// serving the read from it is still linearizable (the read
+		// linearizes after them).
+		return h.view.Read(op)
+	}
+	st := h.in.sp.New()
+	nodes, base := trace.CollectBack(node, 0)
+	if base != nil {
+		if err := st.Restore(base.Snap); err != nil {
+			panic(fmt.Sprintf("core: corrupt base snapshot: %v", err))
+		}
+	}
+	for _, n := range nodes {
+		st.Apply(n.Op)
+	}
+	return st.Read(op)
+}
+
+// advanceView applies the operations between the view and node to the
+// local view and returns the value of the last one applied (node's own
+// operation). If the walk meets a compaction base newer than the view,
+// the view is restored from the base first.
+func (h *Handle) advanceView(node *trace.Node) uint64 {
+	nodes, base := trace.CollectBack(node, h.viewIdx)
+	if base != nil && base.Idx() > h.viewIdx {
+		if err := h.view.Restore(base.Snap); err != nil {
+			panic(fmt.Sprintf("core: corrupt base snapshot: %v", err))
+		}
+		h.viewIdx = base.Idx()
+		mergeSeqs(h.viewSeqs, base.Seqs)
+	}
+	ret := spec.RetOK
+	for _, n := range nodes {
+		ret = h.view.Apply(n.Op)
+		h.viewIdx = n.Idx()
+		if pid, seq := spec.SplitID(n.Op.ID); pid >= 0 && pid < len(h.viewSeqs) && seq > h.viewSeqs[pid] {
+			h.viewSeqs[pid] = seq
+		}
+	}
+	return ret
+}
+
+// mergeSeqs raises dst entries to at least src's.
+func mergeSeqs(dst, src []uint64) {
+	for i := range dst {
+		if i < len(src) && src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Snapshot payload layout on the persistent log: the covered-sequence
+// vector (detectability across compaction) followed by the object state.
+func snapEncode(seqs, state []uint64) []uint64 {
+	out := make([]uint64, 0, 1+len(seqs)+len(state))
+	out = append(out, uint64(len(seqs)))
+	out = append(out, seqs...)
+	return append(out, state...)
+}
+
+func snapDecode(words []uint64) (seqs, state []uint64, err error) {
+	if len(words) < 1 {
+		return nil, nil, errors.New("core: empty snapshot payload")
+	}
+	n := int(words[0])
+	if n < 0 || n > MaxProcs || 1+n > len(words) {
+		return nil, nil, fmt.Errorf("core: corrupt snapshot header %d", words[0])
+	}
+	return words[1 : 1+n], words[1+n:], nil
+}
+
+// compact implements the Section 8 reclamation scheme after the update
+// that created node: durably snapshot the state at s = node.Idx() (one
+// snapshot record, one persistent fence), truncate every earlier record
+// of this process's log (the snapshot covers them), and cut the trace by
+// linking node to a base node at index s, so the old prefix becomes
+// unreachable for new walkers and is garbage-collected. Recovery ignores
+// logged operations with indices <= the newest snapshot index, so other
+// processes' still-live records of old operations are harmless.
+func (h *Handle) compact(node *trace.Node) error {
+	s := node.Idx()
+	if h.viewIdx != s {
+		return fmt.Errorf("core: compact view at %d, node at %d", h.viewIdx, s)
+	}
+	snap := h.view.Snapshot()
+	seqs := append([]uint64(nil), h.viewSeqs...)
+	log := h.in.logs[h.pid]
+	seq, err := log.AppendSnapshot(snapEncode(seqs, snap), s)
+	if err != nil {
+		return err
+	}
+	if seq > 1 {
+		if err := log.Truncate(seq - 1); err != nil {
+			return err
+		}
+	}
+	base := trace.NewBase(s, snap, seqs)
+	node.SetNextBase(base)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Recovery (paper Listing 5 + Section 8 snapshots).
+// ---------------------------------------------------------------------
+
+// Report describes what recovery found: which operations were linearized
+// before the crash (detectable execution) and where the rebuilt trace
+// starts and ends.
+type Report struct {
+	// Linearized maps operation id -> execution index for every update
+	// linearized before the crash and visible after it.
+	Linearized map[uint64]uint64
+	// Ordered is the recovered update sequence (indices BaseIdx+1..
+	// LastIdx), oldest first.
+	Ordered []spec.Op
+	// BaseIdx is the snapshot index recovery restarted from (0 = none).
+	BaseIdx uint64
+	// BaseState is the decoded snapshot state at BaseIdx (nil if none).
+	BaseState []uint64
+	// CoveredSeq maps process id -> highest op sequence number folded
+	// into the recovered snapshot: every op of that process with a
+	// sequence number at or below it was linearized before the crash,
+	// even though its individual record was compacted away.
+	CoveredSeq map[int]uint64
+	// LastIdx is the execution index of the newest recovered operation.
+	LastIdx uint64
+	// PerProcessSeq records the highest per-process op sequence number
+	// seen, so replacement processes do not reuse ids.
+	PerProcessSeq map[int]uint64
+}
+
+// WasLinearized implements detectable execution: after recovery it
+// reports whether the update with the given id took effect before the
+// crash, and at which execution index. Operations absorbed into a
+// compaction snapshot are reported as linearized with index 0 (their
+// individual position was compacted away but is at most BaseIdx).
+func (r *Report) WasLinearized(id uint64) (idx uint64, ok bool) {
+	if idx, ok = r.Linearized[id]; ok {
+		return idx, true
+	}
+	if pid, seq := spec.SplitID(id); pid >= 0 && seq > 0 && seq <= r.CoveredSeq[pid] {
+		return 0, true
+	}
+	return 0, false
+}
+
+// Recover rebuilds the object from the durable contents of pool after a
+// crash, per Listing 5: it restores the newest valid snapshot (if any),
+// then stitches together the operation sequence from all per-process
+// logs, inserting each found operation into a fresh execution trace with
+// its available flag set. The returned instance is ready for new
+// operations; its processes are the crash survivors' replacements.
+func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, error) {
+	if pool.Root(rootMagicSlot) != rootMagic {
+		return nil, nil, errors.New("core: pool has no ONLL root (not initialized?)")
+	}
+	nprocs := int(pool.Root(rootNProcsSlot))
+	if nprocs < 1 || nprocs > MaxProcs {
+		return nil, nil, fmt.Errorf("core: implausible recovered NProcs %d", nprocs)
+	}
+	if cfg.NProcs == 0 {
+		cfg.NProcs = nprocs
+	}
+	if cfg.NProcs != nprocs {
+		return nil, nil, fmt.Errorf("core: configured NProcs %d != recovered %d", cfg.NProcs, nprocs)
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, nil, err
+	}
+
+	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
+	var records []plog.Record
+	for pid := 0; pid < nprocs; pid++ {
+		base := pmem.Addr(pool.Root(rootLogBase + pid))
+		l, err := plog.Open(pool, pid, base)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: reopening log of p%d: %w", pid, err)
+		}
+		in.logs = append(in.logs, l)
+		records = append(records, l.Records()...)
+	}
+
+	rep := &Report{
+		Linearized: map[uint64]uint64{}, PerProcessSeq: map[int]uint64{},
+		CoveredSeq: map[int]uint64{},
+	}
+
+	// Newest valid snapshot wins.
+	var basePayload []uint64
+	for _, rec := range records {
+		if rec.Kind == plog.KindSnapshot && rec.ExecIdx >= rep.BaseIdx && rec.State != nil {
+			rep.BaseIdx, basePayload = rec.ExecIdx, rec.State
+		}
+	}
+	var baseSeqs []uint64
+	if rep.BaseIdx > 0 {
+		if basePayload == nil {
+			return nil, nil, errors.New("core: snapshot index without snapshot state")
+		}
+		var err error
+		baseSeqs, rep.BaseState, err = snapDecode(basePayload)
+		if err != nil {
+			return nil, nil, err
+		}
+		for pid, seq := range baseSeqs {
+			if seq > 0 {
+				rep.CoveredSeq[pid] = seq
+				if seq > rep.PerProcessSeq[pid] {
+					rep.PerProcessSeq[pid] = seq
+				}
+			}
+		}
+	}
+
+	// Union of all persisted operations, by execution index. Helping
+	// means the same (index, op) pair may appear in several logs; the
+	// pairs agree by construction (cross-checked here).
+	byIdx := map[uint64]spec.Op{}
+	for _, rec := range records {
+		if rec.Kind != plog.KindOps {
+			continue
+		}
+		for k, op := range rec.Ops {
+			idx := rec.ExecIdx - uint64(k)
+			if idx <= rep.BaseIdx {
+				continue
+			}
+			if prev, dup := byIdx[idx]; dup && prev != op {
+				return nil, nil, fmt.Errorf("core: logs disagree at index %d: %v vs %v", idx, prev, op)
+			}
+			byIdx[idx] = op
+		}
+	}
+
+	// Listing 5: walk indices upward from the base; the first gap ends
+	// the recoverable prefix (Proposition 5.10 shows no gap can precede
+	// a persisted operation).
+	var ordered []spec.Op
+	i := rep.BaseIdx + 1
+	for {
+		op, ok := byIdx[i]
+		if !ok {
+			break
+		}
+		ordered = append(ordered, op)
+		i++
+	}
+	rep.LastIdx = rep.BaseIdx + uint64(len(ordered))
+	rep.Ordered = ordered
+
+	// Rebuild the trace: base (or INITIALIZE sentinel), then one
+	// available node per recovered operation.
+	var sentinel *trace.Node
+	if rep.BaseIdx > 0 {
+		sentinel = trace.NewBase(rep.BaseIdx, rep.BaseState, baseSeqs)
+	}
+	switch {
+	case cfg.WaitFree && sentinel != nil:
+		in.tr = trace.NewWaitFreeAt(cfg.Gate, nprocs, sentinel)
+	case cfg.WaitFree:
+		in.tr = trace.NewWaitFree(cfg.Gate, nprocs)
+	case sentinel != nil:
+		in.tr = trace.NewLockFreeAt(cfg.Gate, sentinel)
+	default:
+		in.tr = trace.NewLockFree(cfg.Gate)
+	}
+	recPID := 0 // recovery runs single-threaded; pid 0 stands in
+	for k, op := range ordered {
+		n := trace.NewNode(op)
+		in.tr.Insert(recPID, n)
+		in.tr.SetAvailable(recPID, n)
+		idx := rep.BaseIdx + 1 + uint64(k)
+		if n.Idx() != idx {
+			return nil, nil, fmt.Errorf("core: recovery trace index skew: %d != %d", n.Idx(), idx)
+		}
+		rep.Linearized[op.ID] = idx
+		if pid, seq := spec.SplitID(op.ID); pid >= 0 && seq > rep.PerProcessSeq[pid] {
+			rep.PerProcessSeq[pid] = seq
+		}
+	}
+
+	in.makeHandles(rep.PerProcessSeq)
+	return in, rep, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/objects"
+	"repro/internal/pmem"
+	"repro/internal/sched"
+)
+
+// TestRecoveryMatchesListing5 cross-checks the production recovery
+// (single pass over indexed logs) against the literal Listing 5
+// transcription, on randomized crash states: both must reconstruct the
+// same operation sequence.
+func TestRecoveryMatchesListing5(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			gate := sched.NewStepCounter(200+seed*97, nil)
+			pool := pmem.New(1<<24, gate)
+			in, err := New(pool, objects.CounterSpec{}, Config{NProcs: 3, Gate: gate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{}, 3)
+			for pid := 0; pid < 3; pid++ {
+				go func(pid int) {
+					defer func() {
+						recover() // killed by the gate: fine
+						done <- struct{}{}
+					}()
+					h := in.Handle(pid)
+					for i := 0; i < 20; i++ {
+						h.Update(objects.CounterInc)
+					}
+				}(pid)
+			}
+			for i := 0; i < 3; i++ {
+				<-done
+			}
+			pool.Crash(pmem.SeededOracle(seed, 1, 2))
+			pool.SetGate(nil)
+
+			lit, litBase, err := recoverListing5(pool, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rep, err := Recover(pool, objects.CounterSpec{}, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if litBase != rep.BaseIdx {
+				t.Fatalf("base: listing5 %d vs production %d", litBase, rep.BaseIdx)
+			}
+			if len(lit) != len(rep.Ordered) {
+				t.Fatalf("length: listing5 %d vs production %d", len(lit), len(rep.Ordered))
+			}
+			for i := range lit {
+				if lit[i] != rep.Ordered[i] {
+					t.Fatalf("op %d: listing5 %v vs production %v", i, lit[i], rep.Ordered[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRecoveryMatchesListing5WithCompaction(t *testing.T) {
+	pool := pmem.New(1<<24, nil)
+	in, err := New(pool, objects.CounterSpec{}, Config{NProcs: 2, CompactEvery: 7, LogCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, _, err := in.Handle(i % 2).Update(objects.CounterInc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Crash(pmem.DropAll)
+	lit, litBase, err := recoverListing5(pool, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Recover(pool, objects.CounterSpec{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if litBase != rep.BaseIdx || len(lit) != len(rep.Ordered) {
+		t.Fatalf("listing5 (%d ops from %d) vs production (%d ops from %d)",
+			len(lit), litBase, len(rep.Ordered), rep.BaseIdx)
+	}
+}
+
+// TestQuickDifferentialSingleProcess: ONLL return values must equal a
+// plain sequential replay, for random op sequences on random objects.
+func TestQuickDifferentialSingleProcess(t *testing.T) {
+	all := objects.All()
+	f := func(pick uint8, codesRaw []byte) bool {
+		sp := all[int(pick)%len(all)]
+		d := sp.(objects.Describer)
+		var updates []objects.OpInfo
+		for _, oi := range d.Ops() {
+			if oi.Kind == objects.KindUpdate {
+				updates = append(updates, oi)
+			}
+		}
+		if len(codesRaw) > 40 {
+			codesRaw = codesRaw[:40]
+		}
+		pool := pmem.New(1<<24, nil)
+		in, err := New(pool, sp, Config{NProcs: 1})
+		if err != nil {
+			return false
+		}
+		h := in.Handle(0)
+		ref := sp.New()
+		for i, c := range codesRaw {
+			oi := updates[int(c)%len(updates)]
+			args := make([]uint64, oi.Arity)
+			for k := range args {
+				args[k] = uint64(c)%13 + uint64(i*k) + 1
+			}
+			got, _, err := h.Update(oi.Code, args...)
+			if err != nil {
+				return false
+			}
+			op := mkOp(oi.Code, args...)
+			if want := ref.Apply(op); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrashPrefix: for a single process, the recovered sequence is
+// always a prefix of the invocation order, whatever the oracle.
+func TestQuickCrashPrefix(t *testing.T) {
+	f := func(nOps uint8, crashFrac uint8, oseed uint64) bool {
+		n := int(nOps)%30 + 1
+		gate := sched.NewStepCounter(uint64(crashFrac)%200+5, nil)
+		pool := pmem.New(1<<24, nil) // setup un-gated; crashes start after
+		in, err := New(pool, objects.LogSpec{}, Config{NProcs: 1, Gate: gate})
+		if err != nil {
+			return false
+		}
+		pool.SetGate(gate)
+		func() {
+			defer func() { recover() }()
+			h := in.Handle(0)
+			for i := 0; i < n; i++ {
+				h.Update(objects.LogAppend, uint64(i)+1)
+			}
+		}()
+		pool.Crash(pmem.SeededOracle(oseed, 1, 2))
+		pool.SetGate(nil)
+		_, rep, err := Recover(pool, objects.LogSpec{}, Config{})
+		if err != nil {
+			return false
+		}
+		// The recovered appends must be exactly 1..k for some k <= n.
+		if int(rep.LastIdx) > n {
+			return false
+		}
+		for i, op := range rep.Ordered {
+			if op.Code != objects.LogAppend || op.Args[0] != uint64(i)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

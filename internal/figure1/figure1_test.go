@@ -1,0 +1,49 @@
+package figure1
+
+import "testing"
+
+func TestE3Execution1(t *testing.T) {
+	tr, err := Execution1()
+	if err != nil {
+		t.Fatalf("%v\ntranscript:\n%s", err, join(tr))
+	}
+}
+
+func TestE3Execution2(t *testing.T) {
+	tr, err := Execution2()
+	if err != nil {
+		t.Fatalf("%v\ntranscript:\n%s", err, join(tr))
+	}
+}
+
+func TestE3Execution3(t *testing.T) {
+	tr, err := Execution3()
+	if err != nil {
+		t.Fatalf("%v\ntranscript:\n%s", err, join(tr))
+	}
+}
+
+func TestE3Execution4(t *testing.T) {
+	tr, err := Execution4()
+	if err != nil {
+		t.Fatalf("%v\ntranscript:\n%s", err, join(tr))
+	}
+}
+
+func TestE3All(t *testing.T) {
+	tr, err := All()
+	if err != nil {
+		t.Fatalf("%v\ntranscript:\n%s", err, join(tr))
+	}
+	if len(tr) < 20 {
+		t.Fatalf("transcript suspiciously short: %d lines", len(tr))
+	}
+}
+
+func join(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

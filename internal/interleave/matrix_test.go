@@ -1,0 +1,52 @@
+package interleave
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/pmem"
+)
+
+// TestMatrixAllObjectsAllConfigs is the broad-coverage matrix: every
+// shipped object × every construction variant, each swept over several
+// deterministic schedules and crash points with full validation. In
+// -short mode a reduced matrix runs.
+func TestMatrixAllObjectsAllConfigs(t *testing.T) {
+	variants := []struct {
+		name string
+		wf   bool
+		lv   bool
+		ce   int
+	}{
+		{"plain", false, false, 0},
+		{"waitfree", true, false, 0},
+		{"localviews", false, true, 0},
+		{"compaction", false, true, 4},
+	}
+	seeds := 4
+	fracs := []int{15, 45, 80}
+	if testing.Short() {
+		seeds = 1
+		fracs = []int{45}
+	}
+	for _, sp := range objects.All() {
+		for _, v := range variants {
+			sp, v := sp, v
+			t.Run(fmt.Sprintf("%s/%s", sp.Name(), v.name), func(t *testing.T) {
+				t.Parallel()
+				runs, err := Sweep(Config{
+					Spec: sp, NProcs: 3, OpsPerProc: 5, UpdatePct: 75,
+					WorkSeed: int64(len(sp.Name())), Oracle: pmem.SeededOracle(uint64(v.ce)+3, 1, 2),
+					WaitFree: v.wf, LocalViews: v.lv, CompactEvery: v.ce,
+				}, seeds, fracs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if runs < seeds*(1+len(fracs)) {
+					t.Fatalf("only %d runs", runs)
+				}
+			})
+		}
+	}
+}

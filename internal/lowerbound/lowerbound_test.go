@@ -1,0 +1,71 @@
+package lowerbound
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE2Case1EveryProcessFences(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, wf := range []bool{false, true} {
+			res, err := Case1(n, wf)
+			if err != nil {
+				t.Fatalf("n=%d wf=%v: %v", n, wf, err)
+			}
+			if !res.Satisfied() {
+				t.Fatalf("n=%d wf=%v: lower bound violated: %v", n, wf, res)
+			}
+			if !res.Tight() {
+				t.Fatalf("n=%d wf=%v: ONLL not tight against the lower bound: %v", n, wf, res)
+			}
+			if len(res.PFences) != n {
+				t.Fatalf("n=%d: %d processes measured", n, len(res.PFences))
+			}
+		}
+	}
+}
+
+func TestE2Case2EveryProcessFences(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		for _, wf := range []bool{false, true} {
+			res, err := Case2(n, wf)
+			if err != nil {
+				t.Fatalf("n=%d wf=%v: %v", n, wf, err)
+			}
+			if !res.Satisfied() {
+				t.Fatalf("n=%d wf=%v: lower bound violated: %v", n, wf, res)
+			}
+			if !res.Tight() {
+				t.Fatalf("n=%d wf=%v: not tight: %v", n, wf, res)
+			}
+		}
+	}
+}
+
+func TestE2CrashArgument(t *testing.T) {
+	recovered, err := CrashArgument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 {
+		t.Fatalf("crash before the fence recovered %d ops; the op must be lost (state H)", recovered)
+	}
+}
+
+func TestResultStringAndPredicates(t *testing.T) {
+	r := &Result{Case: 1, NProcs: 2, Object: "counter/inc", PFences: []uint64{1, 1}}
+	if !r.Satisfied() || !r.Tight() {
+		t.Fatal("predicates wrong on all-ones")
+	}
+	r.PFences = []uint64{1, 0}
+	if r.Satisfied() {
+		t.Fatal("Satisfied with a zero")
+	}
+	r.PFences = []uint64{2, 1}
+	if !r.Satisfied() || r.Tight() {
+		t.Fatal("Tight with a two")
+	}
+	if !strings.Contains(r.String(), "case 1") {
+		t.Fatalf("String: %s", r.String())
+	}
+}

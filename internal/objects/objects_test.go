@@ -1,0 +1,475 @@
+package objects
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func apply(t *testing.T, s spec.State, code uint64, args ...uint64) uint64 {
+	t.Helper()
+	op := spec.Op{Code: code}
+	copy(op.Args[:], args)
+	return s.Apply(op)
+}
+
+func read(t *testing.T, s spec.State, code uint64, args ...uint64) uint64 {
+	t.Helper()
+	op := spec.Op{Code: code}
+	copy(op.Args[:], args)
+	return s.Read(op)
+}
+
+func TestCounterSemantics(t *testing.T) {
+	s := CounterSpec{}.New()
+	if got := apply(t, s, CounterInc); got != 1 {
+		t.Fatalf("inc: %d", got)
+	}
+	if got := apply(t, s, CounterAdd, 10); got != 11 {
+		t.Fatalf("add: %d", got)
+	}
+	if got := read(t, s, CounterGet); got != 11 {
+		t.Fatalf("get: %d", got)
+	}
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	s := RegisterSpec{}.New()
+	if got := apply(t, s, RegisterWrite, 5); got != 0 {
+		t.Fatalf("first write returned %d, want old value 0", got)
+	}
+	if got := apply(t, s, RegisterWrite, 9); got != 5 {
+		t.Fatalf("second write returned %d, want 5", got)
+	}
+	if got := read(t, s, RegisterRead); got != 9 {
+		t.Fatalf("read: %d", got)
+	}
+}
+
+func TestRegisterWriteIdempotent(t *testing.T) {
+	// H·op ≡ H·op·op for a fixed write — the Case 2 precondition of
+	// the lower-bound proof.
+	a := RegisterSpec{}.New()
+	b := RegisterSpec{}.New()
+	apply(t, a, RegisterWrite, 7)
+	apply(t, b, RegisterWrite, 7)
+	apply(t, b, RegisterWrite, 7)
+	if !spec.Equal(a, b) {
+		t.Fatal("register write is not idempotent")
+	}
+}
+
+func TestStackSemantics(t *testing.T) {
+	s := StackSpec{}.New()
+	if got := apply(t, s, StackPop); got != spec.RetEmpty {
+		t.Fatalf("pop empty: %d", got)
+	}
+	apply(t, s, StackPush, 1)
+	apply(t, s, StackPush, 2)
+	if got := read(t, s, StackPeek); got != 2 {
+		t.Fatalf("peek: %d", got)
+	}
+	if got := read(t, s, StackLen); got != 2 {
+		t.Fatalf("len: %d", got)
+	}
+	if got := apply(t, s, StackPop); got != 2 {
+		t.Fatalf("pop: %d", got)
+	}
+	if got := apply(t, s, StackPop); got != 1 {
+		t.Fatalf("pop: %d", got)
+	}
+	if got := read(t, s, StackPeek); got != spec.RetEmpty {
+		t.Fatalf("peek empty: %d", got)
+	}
+}
+
+func TestQueueSemanticsFIFO(t *testing.T) {
+	s := QueueSpec{}.New()
+	if got := apply(t, s, QueueDeq); got != spec.RetEmpty {
+		t.Fatalf("deq empty: %d", got)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		apply(t, s, QueueEnq, i*10)
+	}
+	if got := read(t, s, QueueFront); got != 10 {
+		t.Fatalf("front: %d", got)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if got := apply(t, s, QueueDeq); got != i*10 {
+			t.Fatalf("deq %d: %d", i, got)
+		}
+	}
+	if got := read(t, s, QueueLen); got != 0 {
+		t.Fatalf("len: %d", got)
+	}
+}
+
+func TestQueueHeadCompaction(t *testing.T) {
+	s := QueueSpec{}.New().(*queueState)
+	for i := 0; i < 1000; i++ {
+		apply(t, s, QueueEnq, uint64(i))
+		if got := apply(t, s, QueueDeq); got != uint64(i) {
+			t.Fatalf("deq: %d", got)
+		}
+	}
+	if len(s.xs) > 256 {
+		t.Fatalf("queue never compacts its head: backing %d", len(s.xs))
+	}
+}
+
+func TestDequeSemantics(t *testing.T) {
+	s := DequeSpec{}.New()
+	apply(t, s, DequePushBack, 2)
+	apply(t, s, DequePushFront, 1)
+	apply(t, s, DequePushBack, 3)
+	if f, b := read(t, s, DequeFront), read(t, s, DequeBack); f != 1 || b != 3 {
+		t.Fatalf("front/back: %d/%d", f, b)
+	}
+	if got := apply(t, s, DequePopFront); got != 1 {
+		t.Fatalf("popf: %d", got)
+	}
+	if got := apply(t, s, DequePopBack); got != 3 {
+		t.Fatalf("popb: %d", got)
+	}
+	if got := apply(t, s, DequePopBack); got != 2 {
+		t.Fatalf("popb: %d", got)
+	}
+	for _, code := range []uint64{DequePopFront, DequePopBack} {
+		if got := apply(t, s, code); got != spec.RetEmpty {
+			t.Fatalf("pop empty: %d", got)
+		}
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := SetSpec{}.New()
+	if got := apply(t, s, SetAdd, 5); got != spec.RetOK {
+		t.Fatalf("add: %d", got)
+	}
+	if got := apply(t, s, SetAdd, 5); got != spec.RetFail {
+		t.Fatalf("duplicate add: %d", got)
+	}
+	if got := read(t, s, SetContains, 5); got != 1 {
+		t.Fatalf("contains: %d", got)
+	}
+	if got := apply(t, s, SetRemove, 5); got != spec.RetOK {
+		t.Fatalf("remove: %d", got)
+	}
+	if got := apply(t, s, SetRemove, 5); got != spec.RetFail {
+		t.Fatalf("remove absent: %d", got)
+	}
+	if got := read(t, s, SetLen); got != 0 {
+		t.Fatalf("len: %d", got)
+	}
+}
+
+func TestMapSemantics(t *testing.T) {
+	s := MapSpec{}.New()
+	if got := apply(t, s, MapPut, 1, 100); got != spec.RetMissing {
+		t.Fatalf("first put: %d", got)
+	}
+	if got := apply(t, s, MapPut, 1, 200); got != 100 {
+		t.Fatalf("overwrite put: %d", got)
+	}
+	if got := read(t, s, MapGet, 1); got != 200 {
+		t.Fatalf("get: %d", got)
+	}
+	if got := apply(t, s, MapCAS, 1, 999, 300); got != spec.RetFail {
+		t.Fatalf("failing cas: %d", got)
+	}
+	if got := apply(t, s, MapCAS, 1, 200, 300); got != spec.RetOK {
+		t.Fatalf("cas: %d", got)
+	}
+	if got := apply(t, s, MapDel, 1); got != 300 {
+		t.Fatalf("del: %d", got)
+	}
+	if got := apply(t, s, MapDel, 1); got != spec.RetMissing {
+		t.Fatalf("del absent: %d", got)
+	}
+	if got := read(t, s, MapGet, 1); got != spec.RetMissing {
+		t.Fatalf("get absent: %d", got)
+	}
+}
+
+func TestPQSemantics(t *testing.T) {
+	s := PQSpec{}.New()
+	if got := apply(t, s, PQExtractMin); got != spec.RetEmpty {
+		t.Fatalf("extract empty: %d", got)
+	}
+	for _, v := range []uint64{5, 1, 9, 3, 7} {
+		apply(t, s, PQInsert, v)
+	}
+	if got := read(t, s, PQMin); got != 1 {
+		t.Fatalf("min: %d", got)
+	}
+	want := []uint64{1, 3, 5, 7, 9}
+	for _, w := range want {
+		if got := apply(t, s, PQExtractMin); got != w {
+			t.Fatalf("extract: %d want %d", got, w)
+		}
+	}
+}
+
+func TestPQHeapPropertyQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		s := PQSpec{}.New()
+		for _, v := range vals {
+			s.Apply(spec.Op{Code: PQInsert, Args: [3]uint64{v}})
+		}
+		prev := uint64(0)
+		for range vals {
+			got := s.Apply(spec.Op{Code: PQExtractMin})
+			if got < prev {
+				return false
+			}
+			prev = got
+		}
+		return s.Apply(spec.Op{Code: PQExtractMin}) == spec.RetEmpty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendLogSemantics(t *testing.T) {
+	s := LogSpec{}.New()
+	for i := uint64(0); i < 5; i++ {
+		if got := apply(t, s, LogAppend, i*3); got != i {
+			t.Fatalf("append idx: %d want %d", got, i)
+		}
+	}
+	if got := read(t, s, LogAt, 3); got != 9 {
+		t.Fatalf("at: %d", got)
+	}
+	if got := read(t, s, LogAt, 99); got != spec.RetMissing {
+		t.Fatalf("at oob: %d", got)
+	}
+	if got := read(t, s, LogLen); got != 5 {
+		t.Fatalf("len: %d", got)
+	}
+}
+
+func TestBankSemantics(t *testing.T) {
+	s := BankSpec{}.New()
+	if got := apply(t, s, BankDeposit, 1, 100); got != 100 {
+		t.Fatalf("deposit: %d", got)
+	}
+	if got := apply(t, s, BankWithdraw, 1, 500); got != spec.RetFail {
+		t.Fatalf("overdraft: %d", got)
+	}
+	if got := apply(t, s, BankTransfer, 1, 2, 60); got != spec.RetOK {
+		t.Fatalf("transfer: %d", got)
+	}
+	if got := apply(t, s, BankTransfer, 1, 1, 10); got != spec.RetFail {
+		t.Fatalf("self transfer: %d", got)
+	}
+	if b1, b2 := read(t, s, BankBalance, 1), read(t, s, BankBalance, 2); b1 != 40 || b2 != 60 {
+		t.Fatalf("balances: %d/%d", b1, b2)
+	}
+	if got := read(t, s, BankTotal); got != 100 {
+		t.Fatalf("total: %d", got)
+	}
+	if got := apply(t, s, BankWithdraw, 1, 40); got != 40 {
+		t.Fatalf("withdraw: %d", got)
+	}
+	if got := read(t, s, BankAccounts); got != 1 {
+		t.Fatalf("accounts: %d (zero balances must be pruned)", got)
+	}
+}
+
+func TestBankConservationQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := BankSpec{}.New()
+		s.Apply(spec.Op{Code: BankDeposit, Args: [3]uint64{0, 1_000_000}})
+		for i := 0; i < int(n); i++ {
+			from := uint64(rng.Intn(8))
+			to := uint64(rng.Intn(8))
+			amt := uint64(rng.Intn(1000))
+			s.Apply(spec.Op{Code: BankTransfer, Args: [3]uint64{from, to, amt}})
+		}
+		return s.Read(spec.Op{Code: BankTotal}) == 1_000_000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomUpdate picks a random update op for sp.
+func randomUpdate(rng *rand.Rand, sp spec.Spec) spec.Op {
+	d := sp.(Describer)
+	var updates []OpInfo
+	for _, oi := range d.Ops() {
+		if oi.Kind == KindUpdate {
+			updates = append(updates, oi)
+		}
+	}
+	oi := updates[rng.Intn(len(updates))]
+	var op spec.Op
+	op.Code = oi.Code
+	for i := 0; i < oi.Arity; i++ {
+		op.Args[i] = uint64(rng.Intn(16)) + 1
+	}
+	return op
+}
+
+func TestCloneIsDeepForAllObjects(t *testing.T) {
+	for _, sp := range All() {
+		t.Run(sp.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			s := sp.New()
+			for i := 0; i < 50; i++ {
+				s.Apply(randomUpdate(rng, sp))
+			}
+			c := s.Clone()
+			if !spec.Equal(s, c) {
+				t.Fatal("clone differs from original")
+			}
+			snapBefore := s.Snapshot()
+			for i := 0; i < 50; i++ {
+				c.Apply(randomUpdate(rng, sp))
+			}
+			snapAfter := s.Snapshot()
+			if len(snapBefore) != len(snapAfter) {
+				t.Fatal("mutating the clone changed the original")
+			}
+			for i := range snapBefore {
+				if snapBefore[i] != snapAfter[i] {
+					t.Fatal("mutating the clone changed the original")
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoreRoundTripAllObjects(t *testing.T) {
+	for _, sp := range All() {
+		t.Run(sp.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			s := sp.New()
+			for i := 0; i < 80; i++ {
+				s.Apply(randomUpdate(rng, sp))
+			}
+			snap := s.Snapshot()
+			r := sp.New()
+			if err := r.Restore(snap); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if !spec.Equal(s, r) {
+				t.Fatalf("restored state differs:\n%v\n%v", s.Snapshot(), r.Snapshot())
+			}
+			// Determinism: same update sequence => same snapshot.
+			rng2 := rand.New(rand.NewSource(11))
+			s2 := sp.New()
+			for i := 0; i < 80; i++ {
+				s2.Apply(randomUpdate(rng2, sp))
+			}
+			if !spec.Equal(s, s2) {
+				t.Fatal("snapshot not deterministic for identical histories")
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsWrongObject(t *testing.T) {
+	counter := CounterSpec{}.New()
+	counter.Apply(spec.Op{Code: CounterInc})
+	snap := counter.Snapshot()
+	for _, sp := range All() {
+		if sp.Name() == "counter" {
+			continue
+		}
+		if err := sp.New().Restore(snap); err == nil {
+			t.Fatalf("%s accepted a counter snapshot", sp.Name())
+		}
+	}
+	if err := (CounterSpec{}).New().Restore(nil); err == nil {
+		t.Fatal("counter accepted an empty snapshot")
+	}
+}
+
+func TestDescribersCoverAllCodesAndIsUpdate(t *testing.T) {
+	for _, sp := range All() {
+		d, ok := sp.(Describer)
+		if !ok {
+			t.Fatalf("%s does not describe its ops", sp.Name())
+		}
+		ops := d.Ops()
+		if len(ops) < 2 {
+			t.Fatalf("%s describes only %d ops", sp.Name(), len(ops))
+		}
+		hasUpdate, hasRead := false, false
+		for _, oi := range ops {
+			if got := IsUpdate(sp, oi.Code); got != (oi.Kind == KindUpdate) {
+				t.Fatalf("%s.%s: IsUpdate mismatch", sp.Name(), oi.Name)
+			}
+			if oi.Kind == KindUpdate {
+				hasUpdate = true
+			} else {
+				hasRead = true
+			}
+		}
+		if !hasUpdate || !hasRead {
+			t.Fatalf("%s lacks update or read ops", sp.Name())
+		}
+	}
+}
+
+func TestBadOpcodesPanic(t *testing.T) {
+	for _, sp := range All() {
+		s := sp.New()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s.Apply accepted opcode 0", sp.Name())
+				}
+			}()
+			s.Apply(spec.Op{Code: 0})
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s.Read accepted opcode 9999", sp.Name())
+				}
+			}()
+			s.Read(spec.Op{Code: 9999})
+		}()
+	}
+}
+
+func TestDeterminismQuickAllObjects(t *testing.T) {
+	// Property (the paper's core assumption): applying the same update
+	// sequence always yields the same state and the same returns.
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name(), func(t *testing.T) {
+			f := func(seed int64, n uint8) bool {
+				mk := func() ([]uint64, spec.State) {
+					rng := rand.New(rand.NewSource(seed))
+					s := sp.New()
+					var rets []uint64
+					for i := 0; i < int(n); i++ {
+						rets = append(rets, s.Apply(randomUpdate(rng, sp)))
+					}
+					return rets, s
+				}
+				r1, s1 := mk()
+				r2, s2 := mk()
+				if !spec.Equal(s1, s2) {
+					return false
+				}
+				for i := range r1 {
+					if r1[i] != r2[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

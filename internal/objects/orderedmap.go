@@ -1,0 +1,176 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// OrderedMap is a sorted word-to-word map with order queries (floor,
+// ceiling, rank, select, min, max). It exists to exercise the universal
+// construction with an object whose read operations are structurally
+// richer than point lookups — the index-tree shape that dominates the
+// persistent-data-structure literature the paper cites (FPTree, NV-Tree,
+// WORT).
+//
+// The state is a sorted slice of key-value pairs; all operations are
+// deterministic, and the snapshot is the sorted pair sequence itself.
+
+// OrderedMap opcodes.
+const (
+	OMapPut    uint64 = iota + 101 // update: m[arg0]=arg1; old value or RetMissing
+	OMapDel                        // update: delete arg0; old value or RetMissing
+	OMapGet                        // read: value or RetMissing
+	OMapFloor                      // read: greatest key <= arg0, or RetMissing
+	OMapCeil                       // read: least key >= arg0, or RetMissing
+	OMapRank                       // read: #keys < arg0
+	OMapSelect                     // read: the arg0-th smallest key (0-based) or RetMissing
+	OMapMin                        // read: smallest key or RetMissing
+	OMapMax                        // read: largest key or RetMissing
+	OMapLen                        // read: size
+)
+
+// OrderedMapSpec is the sorted map specification.
+type OrderedMapSpec struct{}
+
+func (OrderedMapSpec) Name() string    { return "orderedmap" }
+func (OrderedMapSpec) New() spec.State { return &omapState{} }
+func (OrderedMapSpec) Ops() []OpInfo {
+	return []OpInfo{
+		{OMapPut, "put", KindUpdate, 2},
+		{OMapDel, "del", KindUpdate, 1},
+		{OMapGet, "get", KindRead, 1},
+		{OMapFloor, "floor", KindRead, 1},
+		{OMapCeil, "ceil", KindRead, 1},
+		{OMapRank, "rank", KindRead, 1},
+		{OMapSelect, "select", KindRead, 1},
+		{OMapMin, "min", KindRead, 0},
+		{OMapMax, "max", KindRead, 0},
+		{OMapLen, "len", KindRead, 0},
+	}
+}
+
+type omapState struct {
+	keys []uint64
+	vals []uint64
+}
+
+// search returns the insertion index of k and whether it is present.
+func (s *omapState) search(k uint64) (int, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= k })
+	return i, i < len(s.keys) && s.keys[i] == k
+}
+
+func (s *omapState) Apply(op spec.Op) uint64 {
+	k := op.Args[0]
+	switch op.Code {
+	case OMapPut:
+		i, ok := s.search(k)
+		if ok {
+			old := s.vals[i]
+			s.vals[i] = op.Args[1]
+			return old
+		}
+		s.keys = append(s.keys, 0)
+		s.vals = append(s.vals, 0)
+		copy(s.keys[i+1:], s.keys[i:])
+		copy(s.vals[i+1:], s.vals[i:])
+		s.keys[i], s.vals[i] = k, op.Args[1]
+		return spec.RetMissing
+	case OMapDel:
+		i, ok := s.search(k)
+		if !ok {
+			return spec.RetMissing
+		}
+		old := s.vals[i]
+		s.keys = append(s.keys[:i], s.keys[i+1:]...)
+		s.vals = append(s.vals[:i], s.vals[i+1:]...)
+		return old
+	}
+	panic(fmt.Sprintf("orderedmap: bad update opcode %d", op.Code))
+}
+
+func (s *omapState) Read(op spec.Op) uint64 {
+	k := op.Args[0]
+	switch op.Code {
+	case OMapGet:
+		if i, ok := s.search(k); ok {
+			return s.vals[i]
+		}
+		return spec.RetMissing
+	case OMapFloor:
+		i, ok := s.search(k)
+		if ok {
+			return k
+		}
+		if i == 0 {
+			return spec.RetMissing
+		}
+		return s.keys[i-1]
+	case OMapCeil:
+		i, _ := s.search(k)
+		if i == len(s.keys) {
+			return spec.RetMissing
+		}
+		return s.keys[i]
+	case OMapRank:
+		i, _ := s.search(k)
+		return uint64(i)
+	case OMapSelect:
+		if k >= uint64(len(s.keys)) {
+			return spec.RetMissing
+		}
+		return s.keys[k]
+	case OMapMin:
+		if len(s.keys) == 0 {
+			return spec.RetMissing
+		}
+		return s.keys[0]
+	case OMapMax:
+		if len(s.keys) == 0 {
+			return spec.RetMissing
+		}
+		return s.keys[len(s.keys)-1]
+	case OMapLen:
+		return uint64(len(s.keys))
+	}
+	panic(fmt.Sprintf("orderedmap: bad read opcode %d", op.Code))
+}
+
+func (s *omapState) Clone() spec.State {
+	return &omapState{
+		keys: append([]uint64(nil), s.keys...),
+		vals: append([]uint64(nil), s.vals...),
+	}
+}
+
+const tagOMap = 0xC0DE000B
+
+func (s *omapState) Snapshot() []uint64 {
+	out := make([]uint64, 0, 2*len(s.keys)+2)
+	out = append(out, tagOMap, uint64(len(s.keys)))
+	for i := range s.keys {
+		out = append(out, s.keys[i], s.vals[i])
+	}
+	return out
+}
+
+func (s *omapState) Restore(w []uint64) error {
+	if len(w) < 2 || w[0] != tagOMap || uint64(len(w)-2) != 2*w[1] {
+		return snapshotHeaderMismatch("orderedmap", tagOMap, first(w))
+	}
+	n := int(w[1])
+	s.keys = make([]uint64, n)
+	s.vals = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		s.keys[i] = w[2+2*i]
+		s.vals[i] = w[3+2*i]
+	}
+	for i := 1; i < n; i++ {
+		if s.keys[i-1] >= s.keys[i] {
+			return fmt.Errorf("objects: orderedmap snapshot keys not strictly sorted at %d", i)
+		}
+	}
+	return nil
+}

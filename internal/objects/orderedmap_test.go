@@ -1,0 +1,143 @@
+package objects
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func TestOrderedMapBasics(t *testing.T) {
+	s := OrderedMapSpec{}.New()
+	if got := apply(t, s, OMapPut, 5, 50); got != spec.RetMissing {
+		t.Fatalf("first put: %d", got)
+	}
+	if got := apply(t, s, OMapPut, 5, 55); got != 50 {
+		t.Fatalf("overwrite: %d", got)
+	}
+	apply(t, s, OMapPut, 1, 10)
+	apply(t, s, OMapPut, 9, 90)
+	if got := read(t, s, OMapGet, 5); got != 55 {
+		t.Fatalf("get: %d", got)
+	}
+	if got := read(t, s, OMapLen); got != 3 {
+		t.Fatalf("len: %d", got)
+	}
+	if got := apply(t, s, OMapDel, 5); got != 55 {
+		t.Fatalf("del: %d", got)
+	}
+	if got := apply(t, s, OMapDel, 5); got != spec.RetMissing {
+		t.Fatalf("del absent: %d", got)
+	}
+}
+
+func TestOrderedMapOrderQueries(t *testing.T) {
+	s := OrderedMapSpec{}.New()
+	for _, k := range []uint64{10, 20, 30} {
+		apply(t, s, OMapPut, k, k*2)
+	}
+	cases := []struct {
+		code uint64
+		arg  uint64
+		want uint64
+	}{
+		{OMapFloor, 25, 20},
+		{OMapFloor, 20, 20},
+		{OMapFloor, 5, spec.RetMissing},
+		{OMapCeil, 25, 30},
+		{OMapCeil, 30, 30},
+		{OMapCeil, 35, spec.RetMissing},
+		{OMapRank, 10, 0},
+		{OMapRank, 11, 1},
+		{OMapRank, 99, 3},
+		{OMapSelect, 0, 10},
+		{OMapSelect, 2, 30},
+		{OMapSelect, 3, spec.RetMissing},
+		{OMapMin, 0, 10},
+		{OMapMax, 0, 30},
+	}
+	for _, tc := range cases {
+		if got := read(t, s, tc.code, tc.arg); got != tc.want {
+			t.Fatalf("code %d arg %d: got %d want %d", tc.code, tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestOrderedMapEmptyQueries(t *testing.T) {
+	s := OrderedMapSpec{}.New()
+	for _, code := range []uint64{OMapMin, OMapMax} {
+		if got := read(t, s, code); got != spec.RetMissing {
+			t.Fatalf("empty query %d: %d", code, got)
+		}
+	}
+	if got := read(t, s, OMapRank, 7); got != 0 {
+		t.Fatalf("empty rank: %d", got)
+	}
+}
+
+func TestOrderedMapAgainstReferenceQuick(t *testing.T) {
+	// Differential test against a plain map + sort.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := OrderedMapSpec{}.New()
+		ref := map[uint64]uint64{}
+		for i := 0; i < int(n); i++ {
+			k := uint64(rng.Intn(32)) + 1
+			if rng.Intn(3) == 0 {
+				got := s.Apply(spec.Op{Code: OMapDel, Args: [3]uint64{k}})
+				want, ok := ref[k]
+				if !ok {
+					want = spec.RetMissing
+				}
+				delete(ref, k)
+				if got != want {
+					return false
+				}
+			} else {
+				v := uint64(rng.Intn(1000))
+				got := s.Apply(spec.Op{Code: OMapPut, Args: [3]uint64{k, v}})
+				want, ok := ref[k]
+				if !ok {
+					want = spec.RetMissing
+				}
+				ref[k] = v
+				if got != want {
+					return false
+				}
+			}
+		}
+		keys := make([]uint64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		if s.Read(spec.Op{Code: OMapLen}) != uint64(len(keys)) {
+			return false
+		}
+		for i, k := range keys {
+			if s.Read(spec.Op{Code: OMapSelect, Args: [3]uint64{uint64(i)}}) != k {
+				return false
+			}
+			if s.Read(spec.Op{Code: OMapGet, Args: [3]uint64{k}}) != ref[k] {
+				return false
+			}
+			if s.Read(spec.Op{Code: OMapRank, Args: [3]uint64{k}}) != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedMapSnapshotRejectsUnsorted(t *testing.T) {
+	s := OrderedMapSpec{}.New()
+	bad := []uint64{tagOMap, 2, 9, 90, 3, 30} // keys out of order
+	if err := s.Restore(bad); err == nil {
+		t.Fatal("unsorted snapshot accepted")
+	}
+}

@@ -1,0 +1,402 @@
+// Package plog implements the per-process persistent log of the paper
+// (Section 4.1.1), in the style of Cohen, Friedman and Larus, "Efficient
+// Logging in Non-volatile Memory by Exploiting Coherency Protocols"
+// (OOPSLA 2017, reference [12] of the paper): each Append makes a record
+// durable with exactly ONE persistent fence.
+//
+// Instead of the hardware coherency trick of [12] (which Go cannot
+// express), torn records are made detectable by a per-record checksum:
+// the record's lines are written, all of them are flushed (asynchronous,
+// unordered — zero cost in the paper's model), and a single fence makes
+// them durable together. If a crash interrupts the append, any subset of
+// the record's cache lines may have reached NVM; the checksum fails and
+// recovery treats the record as never appended. This preserves the
+// property that matters to the paper — one persistent fence per append —
+// while being implementable on the simulated NVM.
+//
+// Record layout (words), in a fixed-size slot:
+//
+//	[0] seq        monotonically increasing per log, 1-based
+//	[1] kind<<32 | numOps (kind: ops record or snapshot record)
+//	[2] executionIndex
+//	[3...] payload:
+//	       ops record:      numOps operations, spec.OpWords words each;
+//	                        ops[0] is the appender's own operation with
+//	                        the given executionIndex, ops[k] is the
+//	                        helped operation with index executionIndex-k
+//	                        (paper Listing 1).
+//	       snapshot record: {regionAddr, regionWords, regionChecksum}
+//	[3+payload] checksum over words [0, 3+payload)
+//
+// Snapshot records implement the memory-reclamation extension of paper
+// Section 8: a record points to a separately written state-snapshot
+// region; the single fence of the append covers both the region's lines
+// and the record's lines.
+package plog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Record kinds.
+const (
+	KindOps      = 1 // a batch of operations (paper Listing 1)
+	KindSnapshot = 2 // an object-state snapshot (paper Section 8)
+)
+
+// Header layout (one cache line at the region base).
+const (
+	hdrMagic    = 0 // word offsets within the header
+	hdrCapacity = 1
+	hdrSlotW    = 2
+	hdrMaxOps   = 3
+	hdrHeadSeq  = 4
+	hdrWords    = pmem.LineWords
+)
+
+const logMagic = 0x504c4f4721 // "PLOG!"
+
+// Errors.
+var (
+	ErrFull     = errors.New("plog: log full (truncate before appending more)")
+	ErrTooMany  = errors.New("plog: too many operations for one record")
+	ErrCorrupt  = errors.New("plog: corrupt log header")
+	ErrSnapSize = errors.New("plog: snapshot larger than its region")
+)
+
+// Log is one process's persistent log inside a pmem.Pool. A Log is owned
+// by a single process: Append/Truncate must not be called concurrently
+// (per the paper, logs are per-process; recovery reads all of them).
+type Log struct {
+	pool *pmem.Pool
+	pid  int
+	base pmem.Addr
+
+	capacity int // slots
+	slotW    int // words per slot
+	maxOps   int
+
+	nextSeq uint64 // volatile mirrors; durable info is in records + header
+	headSeq uint64
+
+	// Snapshot regions (ping-pong, so the previous snapshot stays intact
+	// while the next one is written).
+	snapRegion [2]pmem.Addr
+	snapCap    [2]int // words
+	snapNext   int
+}
+
+// SlotWords returns the number of words per record slot for a log that
+// can hold up to maxOps operations per record.
+func SlotWords(maxOps int) int {
+	payload := maxOps * spec.OpWords
+	if payload < 3 { // snapshot payload
+		payload = 3
+	}
+	return 3 + payload + 1
+}
+
+// RegionBytes returns the pool bytes needed for a log with the given
+// geometry (header line + capacity slots, line-aligned).
+func RegionBytes(capacity, maxOps int) int {
+	slotBytes := SlotWords(maxOps) * pmem.WordSize
+	slotBytes = (slotBytes + pmem.LineSize - 1) / pmem.LineSize * pmem.LineSize
+	return pmem.LineSize + capacity*slotBytes
+}
+
+// Create formats a new log for process pid at a freshly allocated region
+// of pool and durably writes its header. capacity is the number of record
+// slots; maxOps bounds operations per record (paper: MAX_PROCESSES).
+func Create(pool *pmem.Pool, pid, capacity, maxOps int) (*Log, error) {
+	if capacity < 1 || maxOps < 1 {
+		return nil, fmt.Errorf("plog: bad geometry capacity=%d maxOps=%d", capacity, maxOps)
+	}
+	base, err := pool.Alloc(RegionBytes(capacity, maxOps))
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		pool: pool, pid: pid, base: base,
+		capacity: capacity, slotW: slotWordsAligned(maxOps), maxOps: maxOps,
+		nextSeq: 1, headSeq: 0,
+	}
+	hdr := []uint64{logMagic, uint64(capacity), uint64(l.slotW), uint64(maxOps), 0}
+	for i, v := range hdr {
+		pool.Store(pid, base+pmem.Addr(i*pmem.WordSize), v)
+	}
+	pool.Persist(pid, base, hdrWords*pmem.WordSize)
+	return l, nil
+}
+
+// slotWordsAligned rounds the slot up to whole cache lines so records
+// never share a line (a torn line can then damage at most one record).
+func slotWordsAligned(maxOps int) int {
+	w := SlotWords(maxOps)
+	return (w + pmem.LineWords - 1) / pmem.LineWords * pmem.LineWords
+}
+
+// Open attaches to an existing log region (after a crash). It scans the
+// slots, validates records, and positions nextSeq after the last valid
+// record. The owning pid of the reopened log may differ from the
+// pre-crash one (crashed processes are replaced by new ones).
+func Open(pool *pmem.Pool, pid int, base pmem.Addr) (*Log, error) {
+	rd := func(i int) uint64 { return pool.Load(pid, base+pmem.Addr(i*pmem.WordSize)) }
+	if rd(hdrMagic) != logMagic {
+		return nil, ErrCorrupt
+	}
+	l := &Log{
+		pool: pool, pid: pid, base: base,
+		capacity: int(rd(hdrCapacity)),
+		slotW:    int(rd(hdrSlotW)),
+		maxOps:   int(rd(hdrMaxOps)),
+		headSeq:  rd(hdrHeadSeq),
+	}
+	if l.capacity < 1 || l.slotW < SlotWords(1) || l.maxOps < 1 ||
+		l.slotW != slotWordsAligned(l.maxOps) {
+		return nil, ErrCorrupt
+	}
+	recs := l.scan()
+	l.nextSeq = l.headSeq + 1
+	if n := len(recs); n > 0 {
+		l.nextSeq = recs[n-1].Seq + 1
+	}
+	return l, nil
+}
+
+// Base returns the log's region address (stored in the pool root table by
+// the construction so recovery can find it).
+func (l *Log) Base() pmem.Addr { return l.base }
+
+// Capacity returns the number of record slots.
+func (l *Log) Capacity() int { return l.capacity }
+
+// MaxOps returns the per-record operation bound.
+func (l *Log) MaxOps() int { return l.maxOps }
+
+// Len returns the number of live (non-truncated) records.
+func (l *Log) Len() int { return int(l.nextSeq - 1 - l.headSeq) }
+
+// NextSeq returns the sequence number the next append will use.
+func (l *Log) NextSeq() uint64 { return l.nextSeq }
+
+// HeadSeq returns the truncation point (records with seq <= HeadSeq are
+// dead).
+func (l *Log) HeadSeq() uint64 { return l.headSeq }
+
+func (l *Log) slotAddr(seq uint64) pmem.Addr {
+	slot := (seq - 1) % uint64(l.capacity)
+	return l.base + pmem.Addr(hdrWords*pmem.WordSize) + pmem.Addr(slot*uint64(l.slotW)*pmem.WordSize)
+}
+
+// checksum is a 64-bit FNV-1a-style mix over record words. It only needs
+// to make "a subset of this record's lines are stale" astronomically
+// unlikely to verify, not to resist adversaries.
+func checksum(words []uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, w := range words {
+		h ^= w
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	if h == 0 { // reserve 0 so an all-zero slot can never verify
+		h = 1
+	}
+	return h
+}
+
+// Append durably records ops (ops[0] being the appender's own operation
+// with the given execution index; ops[k] the helped operation with index
+// execIdx-k) using exactly one persistent fence. It returns the record's
+// sequence number.
+func (l *Log) Append(ops []spec.Op, execIdx uint64) (uint64, error) {
+	if len(ops) == 0 || len(ops) > l.maxOps {
+		return 0, ErrTooMany
+	}
+	payload := make([]uint64, 0, len(ops)*spec.OpWords)
+	for _, op := range ops {
+		payload = op.Encode(payload)
+	}
+	return l.appendRecord(KindOps, execIdx, payload)
+}
+
+// AppendSnapshot durably records a state snapshot taken at execution
+// index execIdx (the state reflects operations 1..execIdx). The snapshot
+// body is written to a ping-pong region; the record in the log points at
+// it. One persistent fence covers both. Returns the record's sequence
+// number.
+func (l *Log) AppendSnapshot(state []uint64, execIdx uint64) (uint64, error) {
+	// Ensure the target region (the one NOT referenced by the previous
+	// snapshot) is large enough.
+	k := l.snapNext
+	if l.snapCap[k] < len(state) {
+		need := len(state)
+		if need < 64 {
+			need = 64
+		}
+		need *= 2 // headroom to avoid frequent re-allocation
+		a, err := l.pool.Alloc(need * pmem.WordSize)
+		if err != nil {
+			return 0, err
+		}
+		l.snapRegion[k], l.snapCap[k] = a, need
+	}
+	region := l.snapRegion[k]
+	for i, w := range state {
+		l.pool.Store(l.pid, region+pmem.Addr(i*pmem.WordSize), w)
+	}
+	// Flush the region lines now; the record's fence will cover them.
+	l.flushRange(region, len(state)*pmem.WordSize)
+	payload := []uint64{uint64(region), uint64(len(state)), checksum(state)}
+	seq, err := l.appendRecord(KindSnapshot, execIdx, payload)
+	if err == nil {
+		l.snapNext = 1 - k
+	}
+	return seq, err
+}
+
+// flushRange issues (unordered, async) flushes for every line overlapping
+// [addr, addr+size) WITHOUT fencing.
+func (l *Log) flushRange(addr pmem.Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr.Line()
+	last := pmem.Addr(uint64(addr) + uint64(size) - 1).Line()
+	for li := first; li <= last; li++ {
+		l.pool.Flush(l.pid, pmem.Addr(li*pmem.LineSize))
+	}
+}
+
+func (l *Log) appendRecord(kind int, execIdx uint64, payload []uint64) (uint64, error) {
+	if int(l.nextSeq-1-l.headSeq) >= l.capacity {
+		return 0, ErrFull
+	}
+	seq := l.nextSeq
+	words := make([]uint64, 0, 3+len(payload)+1)
+	words = append(words, seq, uint64(kind)<<32|uint64(len(payload)), execIdx)
+	words = append(words, payload...)
+	words = append(words, checksum(words))
+	addr := l.slotAddr(seq)
+	for i, w := range words {
+		l.pool.Store(l.pid, addr+pmem.Addr(i*pmem.WordSize), w)
+	}
+	l.flushRange(addr, len(words)*pmem.WordSize)
+	// THE one persistent fence of this append (and, in the universal
+	// construction, the one persistent fence of the whole update).
+	l.pool.Fence(l.pid)
+	l.nextSeq = seq + 1
+	return seq, nil
+}
+
+// Truncate durably drops all records with seq <= upto (they must exist).
+// It costs one persistent fence (the price of reclamation, measured by
+// experiment E9).
+func (l *Log) Truncate(upto uint64) error {
+	if upto < l.headSeq || upto >= l.nextSeq {
+		return fmt.Errorf("plog: truncate %d outside live range (%d, %d)", upto, l.headSeq, l.nextSeq-1)
+	}
+	if upto == l.headSeq {
+		return nil
+	}
+	l.headSeq = upto
+	a := l.base + pmem.Addr(hdrHeadSeq*pmem.WordSize)
+	l.pool.Store(l.pid, a, upto)
+	l.pool.Persist(l.pid, a, pmem.WordSize)
+	return nil
+}
+
+// Record is one validated log record as seen by recovery.
+type Record struct {
+	Seq     uint64
+	Kind    int
+	ExecIdx uint64
+	// Ops is populated for KindOps records: Ops[0] has index ExecIdx,
+	// Ops[k] has index ExecIdx-k.
+	Ops []spec.Op
+	// State is populated for KindSnapshot records.
+	State []uint64
+}
+
+// readSlot validates and decodes the record in the slot that seq maps to,
+// requiring the stored seq to equal seq exactly.
+func (l *Log) readSlot(seq uint64) (Record, bool) {
+	addr := l.slotAddr(seq)
+	rd := func(i int) uint64 { return l.pool.Load(l.pid, addr+pmem.Addr(i*pmem.WordSize)) }
+	if rd(0) != seq {
+		return Record{}, false
+	}
+	kn := rd(1)
+	kind, plen := int(kn>>32), int(kn&0xffffffff)
+	if (kind != KindOps && kind != KindSnapshot) || plen < 0 || 3+plen+1 > l.slotW {
+		return Record{}, false
+	}
+	words := make([]uint64, 3+plen)
+	for i := range words {
+		words[i] = rd(i)
+	}
+	if rd(3+plen) != checksum(words) {
+		return Record{}, false
+	}
+	rec := Record{Seq: seq, Kind: kind, ExecIdx: words[2]}
+	switch kind {
+	case KindOps:
+		if plen%spec.OpWords != 0 {
+			return Record{}, false
+		}
+		n := plen / spec.OpWords
+		if n == 0 || n > l.maxOps {
+			return Record{}, false
+		}
+		for k := 0; k < n; k++ {
+			rec.Ops = append(rec.Ops, spec.DecodeOp(words[3+k*spec.OpWords:]))
+		}
+	case KindSnapshot:
+		if plen != 3 {
+			return Record{}, false
+		}
+		region, n, sum := pmem.Addr(words[3]), int(words[4]), words[5]
+		// The pointer and length come from (possibly torn) NVM:
+		// validate them before dereferencing.
+		if n < 0 || n > (1<<28) || !l.pool.Contains(region, n*pmem.WordSize) {
+			return Record{}, false
+		}
+		state := make([]uint64, n)
+		for i := range state {
+			state[i] = l.pool.Load(l.pid, region+pmem.Addr(i*pmem.WordSize))
+		}
+		if checksum(state) != sum {
+			return Record{}, false // torn snapshot body: record never happened
+		}
+		rec.State = state
+	}
+	return rec, true
+}
+
+// scan returns the contiguous run of valid records starting at
+// headSeq+1. A record can only be torn if it was the last append in
+// flight at a crash (appends are sequential and each is fenced before
+// the next), so validity is prefix-closed; scan stops at the first
+// invalid slot.
+func (l *Log) scan() []Record {
+	var out []Record
+	for seq := l.headSeq + 1; ; seq++ {
+		if int(seq-1-l.headSeq) >= l.capacity {
+			break // scanned every slot
+		}
+		rec, ok := l.readSlot(seq)
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Records returns the live, validated records in sequence order. After a
+// crash (Open), this is what survived; on a live log it reflects all
+// appends so far.
+func (l *Log) Records() []Record { return l.scan() }

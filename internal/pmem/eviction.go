@@ -1,0 +1,68 @@
+package pmem
+
+// Spontaneous eviction: real caches write dirty lines back to memory
+// whenever they please, so data can become durable EARLIER than the
+// program ordered — never later. Correct persistent algorithms must
+// tolerate this (it is why recovery code validates what it reads
+// instead of trusting write ordering); algorithms that accidentally
+// rely on "not yet flushed means not yet durable" break under it.
+//
+// An EvictionPolicy makes the simulator exercise that freedom
+// deterministically: after every store, each dirty line may be written
+// back with a seeded pseudo-random decision. The crash Oracle already
+// models eviction at crash time; the policy models it during normal
+// operation, which is strictly more adversarial.
+
+// EvictionPolicy decides, after each store to a line, whether the
+// simulator spontaneously writes that dirty line back to NVM.
+type EvictionPolicy func(line uint64, storeCount uint64) bool
+
+// SeededEviction returns a policy evicting roughly one in rate stores,
+// decided by a hash of (seed, line, count) — deterministic for a given
+// seed and access sequence.
+func SeededEviction(seed uint64, rate uint64) EvictionPolicy {
+	if rate == 0 {
+		rate = 1
+	}
+	return func(line, count uint64) bool {
+		x := seed ^ line*0x9e3779b97f4a7c15 ^ count*0xbf58476d1ce4e5b9
+		x ^= x >> 31
+		x *= 0x94d049bb133111eb
+		x ^= x >> 29
+		return x%rate == 0
+	}
+}
+
+// SetEviction installs an eviction policy (nil disables). Must not be
+// called concurrently with memory operations.
+func (p *Pool) SetEviction(ep EvictionPolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.evict = ep
+}
+
+// maybeEvict is called under p.mu after a store dirtied line li.
+func (p *Pool) maybeEvict(li uint64) {
+	if p.evict == nil {
+		return
+	}
+	p.evictCount++
+	if !p.evict(li, p.evictCount) {
+		return
+	}
+	cl := p.cache[li]
+	if cl == nil || !cl.dirty {
+		return
+	}
+	base := li * LineWords
+	copy(p.persistent[base:base+LineWords], cl.words[:])
+	cl.dirty = false
+	p.evictions++
+}
+
+// Evictions returns the number of spontaneous write-backs performed.
+func (p *Pool) Evictions() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}

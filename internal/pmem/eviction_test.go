@@ -1,0 +1,73 @@
+package pmem
+
+import "testing"
+
+func TestEvictionMakesDataDurableEarly(t *testing.T) {
+	p := New(1<<16, nil)
+	p.SetEviction(func(uint64, uint64) bool { return true }) // evict always
+	a := p.MustAlloc(64)
+	p.Store(0, a, 5)
+	// No flush, no fence — but the eviction wrote it back.
+	if got := p.DurableWord(a); got != 5 {
+		t.Fatalf("always-evict policy did not write back: %d", got)
+	}
+	if p.Evictions() != 1 {
+		t.Fatalf("evictions=%d", p.Evictions())
+	}
+	// Crash with DropAll: the evicted value is durable regardless.
+	p.Crash(DropAll)
+	if got := p.Load(0, a); got != 5 {
+		t.Fatalf("evicted value lost: %d", got)
+	}
+}
+
+func TestEvictionNeverLosesFencedData(t *testing.T) {
+	p := New(1<<18, nil)
+	p.SetEviction(SeededEviction(9, 3))
+	a := p.MustAlloc(LineSize * 8)
+	for i := 0; i < 8*LineWords; i++ {
+		p.Store(0, a+Addr(i*WordSize), uint64(i)+1)
+	}
+	p.Persist(0, a, 8*LineSize)
+	p.Crash(DropAll)
+	for i := 0; i < 8*LineWords; i++ {
+		if got := p.Load(0, a+Addr(i*WordSize)); got != uint64(i)+1 {
+			t.Fatalf("word %d lost under eviction: %d", i, got)
+		}
+	}
+}
+
+func TestSeededEvictionDeterministic(t *testing.T) {
+	e1 := SeededEviction(4, 5)
+	e2 := SeededEviction(4, 5)
+	hits := 0
+	for i := uint64(0); i < 5000; i++ {
+		if e1(i%37, i) != e2(i%37, i) {
+			t.Fatal("not deterministic")
+		}
+		if e1(i%37, i) {
+			hits++
+		}
+	}
+	if hits < 500 || hits > 1800 {
+		t.Fatalf("rate off: %d/5000 at 1-in-5", hits)
+	}
+	// rate 0 coerces to 1 (always).
+	if !SeededEviction(1, 0)(0, 0) {
+		t.Fatal("rate-0 policy should evict always")
+	}
+}
+
+func TestEvictionDisabledByDefault(t *testing.T) {
+	p := New(1<<14, nil)
+	a := p.MustAlloc(64)
+	for i := 0; i < 100; i++ {
+		p.Store(0, a, uint64(i))
+	}
+	if p.Evictions() != 0 {
+		t.Fatal("evictions without a policy")
+	}
+	if got := p.DurableWord(a); got != 0 {
+		t.Fatalf("data durable without flush/fence/eviction: %d", got)
+	}
+}

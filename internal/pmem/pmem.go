@@ -1,0 +1,515 @@
+// Package pmem simulates byte-addressable non-volatile memory with a
+// volatile cache in front of it, reproducing the cost model of the paper
+// ("The Inherent Cost of Remembering Consistently", SPAA '18, Section 2):
+//
+//   - Stores are satisfied in a volatile cache; they are NOT durable.
+//   - Flush is an asynchronous, unordered cache-line write-back
+//     (clflushopt/clwb). Its cost is considered zero, and it does not by
+//     itself make data durable.
+//   - Fence stalls until all of the calling process's pending write-backs
+//     complete. A fence executed while write-backs are pending is a
+//     *persistent fence* — the expensive operation whose count the paper
+//     bounds. A fence with no pending write-backs is considered free.
+//   - On a full-system crash the cache is lost. A line that was flushed
+//     but not yet fenced, or dirty but never flushed (an uncontrolled
+//     eviction may have written it back), MAY or MAY NOT have reached
+//     NVM; a crash Oracle decides, letting tests explore adversarial
+//     outcomes deterministically.
+//
+// This substitutes for real persistent-memory hardware, which Go cannot
+// drive (no cache-line flush control); the quantity the paper reasons
+// about — persistent fences per operation, per process — is counted
+// exactly.
+//
+// All primitives take the id of the simulated process performing them so
+// that statistics are attributed per process (fences are per-CPU on real
+// hardware) and so that a sched.Gate can interpose deterministic
+// scheduling or crash injection.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Geometry of the simulated memory.
+const (
+	WordSize  = 8                    // bytes per word
+	LineWords = 8                    // words per cache line
+	LineSize  = WordSize * LineWords // bytes per cache line (64, as on x86)
+)
+
+// Addr is a byte address into a Pool. All word accesses must be
+// word-aligned.
+type Addr uint64
+
+// Line returns the cache-line index containing a.
+func (a Addr) Line() uint64 { return uint64(a) / LineSize }
+
+// word returns the word index of a within the pool.
+func (a Addr) word() uint64 { return uint64(a) / WordSize }
+
+// Oracle decides, for each cache line whose durability was not guaranteed
+// at the moment of a crash (dirty lines, and flushed-but-not-fenced
+// lines), whether that line happened to reach NVM. Returning true means
+// the line's volatile contents survive the crash.
+type Oracle func(line uint64) bool
+
+// Convenient oracles for tests.
+var (
+	// DropAll: nothing that was not explicitly persisted survives.
+	// This is the most adversarial (and most common) choice.
+	DropAll Oracle = func(uint64) bool { return false }
+	// KeepAll: every write-back raced ahead of the crash.
+	KeepAll Oracle = func(uint64) bool { return true }
+)
+
+// SeededOracle returns a deterministic pseudo-random oracle: each line
+// survives with probability num/den, decided by a hash of (seed, line).
+func SeededOracle(seed uint64, num, den uint64) Oracle {
+	return func(line uint64) bool {
+		x := seed ^ (line * 0x9e3779b97f4a7c15)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		x *= 0xc4ceb9fe1a85ec53
+		x ^= x >> 33
+		return x%den < num
+	}
+}
+
+// Stats counts the primitive operations performed by one process.
+type Stats struct {
+	Loads   uint64 // word loads
+	Stores  uint64 // word stores
+	CASes   uint64 // compare-and-swap attempts
+	Flushes uint64 // asynchronous line write-backs issued
+	// Fences counts fences that found no pending write-backs; the paper
+	// treats these as free.
+	Fences uint64
+	// PersistentFences counts fences executed while write-backs were
+	// pending — the expensive operation bounded by the paper.
+	PersistentFences uint64
+	// LinesPersisted counts cache lines committed to NVM by fences.
+	LinesPersisted uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.CASes += other.CASes
+	s.Flushes += other.Flushes
+	s.Fences += other.Fences
+	s.PersistentFences += other.PersistentFences
+	s.LinesPersisted += other.LinesPersisted
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("loads=%d stores=%d cas=%d flushes=%d fences=%d pfences=%d lines=%d",
+		s.Loads, s.Stores, s.CASes, s.Flushes, s.Fences, s.PersistentFences, s.LinesPersisted)
+}
+
+// cacheLine is the volatile copy of one line.
+type cacheLine struct {
+	words [LineWords]uint64
+	dirty bool
+}
+
+// Pool is one simulated NVM device plus the volatile cache in front of
+// it. All methods are safe for concurrent use by multiple simulated
+// processes. The crash/recovery cycle is: Crash (discard cache, apply
+// oracle) and then re-reading the persistent image through fresh loads.
+type Pool struct {
+	gate sched.Gate
+
+	mu         sync.Mutex
+	persistent []uint64              // the durable image, in words
+	cache      map[uint64]*cacheLine // line index -> volatile contents
+	// pending maps pid -> (line index -> snapshot of the line contents
+	// at the time Flush was issued). A fence by pid commits and clears
+	// pid's pending set.
+	pending map[int]map[uint64][LineWords]uint64
+	stats   map[int]*Stats
+	top     Addr // bump-allocation frontier
+	crashes uint64
+
+	// Spontaneous-eviction simulation (see eviction.go).
+	evict      EvictionPolicy
+	evictCount uint64
+	evictions  uint64
+}
+
+// Reserved root area: the first rootCount words of the pool are a root
+// table used to locate top-level structures after a crash.
+const (
+	rootCount  = 64
+	rootBytes  = rootCount * WordSize
+	minPoolLen = rootBytes
+)
+
+// RootSystemPID is the process id used for pool-management operations
+// (root updates during setup); its fence costs are excluded from
+// experiment tables by resetting stats after setup.
+const RootSystemPID = sched.MaxPids - 1
+
+// New creates a pool of the given size in bytes (rounded up to a whole
+// number of cache lines, minimum one line beyond the root table), fully
+// zeroed and durable. gate may be nil, in which case a NopGate is used.
+func New(size int, gate sched.Gate) *Pool {
+	if gate == nil {
+		gate = sched.NopGate{}
+	}
+	if size < minPoolLen+LineSize {
+		size = minPoolLen + LineSize
+	}
+	lines := (size + LineSize - 1) / LineSize
+	p := &Pool{
+		gate:       gate,
+		persistent: make([]uint64, lines*LineWords),
+		cache:      make(map[uint64]*cacheLine),
+		pending:    make(map[int]map[uint64][LineWords]uint64),
+		stats:      make(map[int]*Stats),
+		top:        rootBytes,
+	}
+	return p
+}
+
+// SetGate replaces the pool's gate. Must not be called concurrently with
+// memory operations.
+func (p *Pool) SetGate(g sched.Gate) {
+	if g == nil {
+		g = sched.NopGate{}
+	}
+	p.gate = g
+}
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.persistent) * WordSize
+}
+
+// Crashes returns the number of crashes the pool has survived.
+func (p *Pool) Crashes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashes
+}
+
+func (p *Pool) statsOf(pid int) *Stats {
+	s := p.stats[pid]
+	if s == nil {
+		s = &Stats{}
+		p.stats[pid] = s
+	}
+	return s
+}
+
+// StatsOf returns a copy of the statistics of process pid.
+func (p *Pool) StatsOf(pid int) Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return *p.statsOf(pid)
+}
+
+// TotalStats returns the sum of all per-process statistics.
+func (p *Pool) TotalStats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t Stats
+	for _, s := range p.stats {
+		t.Add(*s)
+	}
+	return t
+}
+
+// ResetStats zeroes all statistics (typically called after setup so that
+// experiment tables reflect steady state only).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = make(map[int]*Stats)
+}
+
+func (p *Pool) checkAddr(a Addr) {
+	if uint64(a)%WordSize != 0 {
+		panic(fmt.Sprintf("pmem: unaligned address %#x", uint64(a)))
+	}
+	if a.word() >= uint64(len(p.persistent)) {
+		panic(fmt.Sprintf("pmem: address %#x out of bounds (pool %d bytes)",
+			uint64(a), len(p.persistent)*WordSize))
+	}
+}
+
+// line returns the cached copy of the line containing a, faulting it in
+// from the persistent image if needed. Caller holds p.mu.
+func (p *Pool) line(a Addr) *cacheLine {
+	li := a.Line()
+	cl := p.cache[li]
+	if cl == nil {
+		cl = &cacheLine{}
+		base := li * LineWords
+		copy(cl.words[:], p.persistent[base:base+LineWords])
+		p.cache[li] = cl
+	}
+	return cl
+}
+
+// Load reads the word at addr as seen by the running system (cache first).
+func (p *Pool) Load(pid int, addr Addr) uint64 {
+	p.gate.Step(pid, "pmem.load")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkAddr(addr)
+	p.statsOf(pid).Loads++
+	li := addr.Line()
+	if cl := p.cache[li]; cl != nil {
+		return cl.words[addr.word()%LineWords]
+	}
+	return p.persistent[addr.word()]
+}
+
+// Store writes the word at addr into the cache (volatile until flushed
+// and fenced).
+func (p *Pool) Store(pid int, addr Addr, val uint64) {
+	p.gate.Step(pid, "pmem.store")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkAddr(addr)
+	p.statsOf(pid).Stores++
+	cl := p.line(addr)
+	cl.words[addr.word()%LineWords] = val
+	cl.dirty = true
+	p.maybeEvict(addr.Line())
+}
+
+// CAS atomically compares the word at addr with old and, if equal, writes
+// new. It reports whether the swap happened. Like a hardware CAS it acts
+// on the cache: its effect is NOT durable until flushed and fenced. (The
+// paper notes NVM itself is written only by simple write-backs; CAS is a
+// cache/coherency-level operation.)
+func (p *Pool) CAS(pid int, addr Addr, old, new uint64) bool {
+	p.gate.Step(pid, "pmem.cas")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkAddr(addr)
+	p.statsOf(pid).CASes++
+	cl := p.line(addr)
+	w := addr.word() % LineWords
+	if cl.words[w] != old {
+		return false
+	}
+	cl.words[w] = new
+	cl.dirty = true
+	p.maybeEvict(addr.Line())
+	return true
+}
+
+// Flush issues an asynchronous write-back (clwb-style) of the line
+// containing addr, on behalf of pid. The line contents are snapshotted at
+// flush time; a subsequent Fence by pid commits the snapshot to NVM.
+// Flushing a clean line is a no-op beyond being counted.
+func (p *Pool) Flush(pid int, addr Addr) {
+	p.gate.Step(pid, "pmem.flush")
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkAddr(addr)
+	p.statsOf(pid).Flushes++
+	li := addr.Line()
+	cl := p.cache[li]
+	if cl == nil || !cl.dirty {
+		return
+	}
+	pm := p.pending[pid]
+	if pm == nil {
+		pm = make(map[uint64][LineWords]uint64)
+		p.pending[pid] = pm
+	}
+	pm[li] = cl.words
+	// The line remains cached and dirty (later stores may re-dirty it
+	// relative to the snapshot); a fence commits the snapshot.
+}
+
+// Fence orders pid's outstanding write-backs: every line pid has flushed
+// since its last fence becomes durable. If any write-backs were pending
+// this is counted as a persistent fence (the expensive case); otherwise
+// as a plain fence.
+func (p *Pool) Fence(pid int) {
+	// Peek at whether this will be a persistent fence so the gate point
+	// is distinguishable; the final accounting is done under the lock.
+	p.mu.Lock()
+	persistent := len(p.pending[pid]) > 0
+	p.mu.Unlock()
+	if persistent {
+		p.gate.Step(pid, "pmem.pfence")
+	} else {
+		p.gate.Step(pid, "pmem.fence")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.statsOf(pid)
+	pm := p.pending[pid]
+	if len(pm) == 0 {
+		s.Fences++
+		return
+	}
+	s.PersistentFences++
+	for li, words := range pm {
+		base := li * LineWords
+		copy(p.persistent[base:base+LineWords], words[:])
+		s.LinesPersisted++
+		// If the cached line still equals the committed snapshot it is
+		// now clean; otherwise later stores keep it dirty.
+		if cl := p.cache[li]; cl != nil && cl.words == words {
+			cl.dirty = false
+		}
+	}
+	delete(p.pending, pid)
+}
+
+// Persist is the common flush-range-then-fence idiom: it flushes every
+// line overlapping [addr, addr+size) and issues one fence. It is exactly
+// one persistent fence when the range was dirty.
+func (p *Pool) Persist(pid int, addr Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr.Line()
+	last := Addr(uint64(addr) + uint64(size) - 1).Line()
+	for li := first; li <= last; li++ {
+		p.Flush(pid, Addr(li*LineSize))
+	}
+	p.Fence(pid)
+}
+
+// Crash simulates a full-system power failure. Every line whose
+// durability was guaranteed (committed by a fence) keeps its committed
+// value. For every other line with volatile state — flushed-but-unfenced
+// snapshots and dirty unflushed lines — the oracle decides whether the
+// in-flight value reached NVM. The cache and all pending write-backs are
+// then discarded. Statistics survive (they describe the history of the
+// simulation, not the machine).
+//
+// Crash does not terminate simulated processes; callers pair it with
+// sched.Controller.KillAll (or a crashing gate) so that no process
+// touches the pool mid-crash.
+func (p *Pool) Crash(oracle Oracle) {
+	if oracle == nil {
+		oracle = DropAll
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashes++
+	// Flushed-but-unfenced snapshots: the write-back was in flight.
+	for _, pm := range p.pending {
+		for li, words := range pm {
+			if oracle(li) {
+				base := li * LineWords
+				copy(p.persistent[base:base+LineWords], words[:])
+			}
+		}
+	}
+	// Dirty lines never flushed: an uncontrolled eviction may have
+	// written them back at any point; the oracle models that too.
+	for li, cl := range p.cache {
+		if cl.dirty && oracle(li) {
+			base := li * LineWords
+			copy(p.persistent[base:base+LineWords], cl.words[:])
+		}
+	}
+	p.cache = make(map[uint64]*cacheLine)
+	p.pending = make(map[int]map[uint64][LineWords]uint64)
+}
+
+// ErrOutOfMemory is returned by Alloc when the pool is exhausted.
+var ErrOutOfMemory = errors.New("pmem: pool exhausted")
+
+// Alloc reserves size bytes, aligned to a cache-line boundary, and
+// returns the base address. Allocation metadata is volatile; persistent
+// structures must be reachable from the root table to survive crashes.
+func (p *Pool) Alloc(size int) (Addr, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if size <= 0 {
+		return 0, fmt.Errorf("pmem: invalid allocation size %d", size)
+	}
+	base := (uint64(p.top) + LineSize - 1) / LineSize * LineSize
+	end := base + uint64(size)
+	if end > uint64(len(p.persistent)*WordSize) {
+		return 0, ErrOutOfMemory
+	}
+	p.top = Addr(end)
+	return Addr(base), nil
+}
+
+// MustAlloc is Alloc that panics on failure (used during setup).
+func (p *Pool) MustAlloc(size int) Addr {
+	a, err := p.Alloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// SetRoot durably stores val in root slot i (0 <= i < 64). Roots are how
+// recovery code locates structures: they are persisted immediately (one
+// persistent fence, attributed to RootSystemPID).
+func (p *Pool) SetRoot(i int, val uint64) {
+	if i < 0 || i >= rootCount {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	addr := Addr(i * WordSize)
+	p.Store(RootSystemPID, addr, val)
+	p.Persist(RootSystemPID, addr, WordSize)
+}
+
+// Root reads root slot i (through the cache, like any load).
+func (p *Pool) Root(i int) uint64 {
+	if i < 0 || i >= rootCount {
+		panic(fmt.Sprintf("pmem: root index %d out of range", i))
+	}
+	return p.Load(RootSystemPID, Addr(i*WordSize))
+}
+
+// Contains reports whether the word-aligned range [addr, addr+size)
+// lies inside the pool — recovery code validates untrusted pointers
+// read from NVM with it before dereferencing them.
+func (p *Pool) Contains(addr Addr, size int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if size < 0 || uint64(addr)%WordSize != 0 {
+		return false
+	}
+	end := uint64(addr) + uint64(size)
+	return end >= uint64(addr) && end <= uint64(len(p.persistent))*WordSize
+}
+
+// DurableWord returns the word at addr as it exists in NVM right now,
+// bypassing the cache. This is a test/diagnostic facility ("what would
+// recovery see if we crashed here with DropAll"); real programs cannot
+// do this.
+func (p *Pool) DurableWord(addr Addr) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkAddr(addr)
+	return p.persistent[addr.word()]
+}
+
+// VolatileLines returns the number of cache lines currently dirty (a
+// diagnostic for leak/compaction tests).
+func (p *Pool) VolatileLines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, cl := range p.cache {
+		if cl.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,385 @@
+package pmem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(256)
+	for i := 0; i < 32; i++ {
+		p.Store(0, a+Addr(i*WordSize), uint64(i)*3+1)
+	}
+	for i := 0; i < 32; i++ {
+		if got := p.Load(0, a+Addr(i*WordSize)); got != uint64(i)*3+1 {
+			t.Fatalf("word %d: got %d", i, got)
+		}
+	}
+}
+
+func TestStoreIsVolatileUntilFenced(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(64)
+	p.Store(0, a, 42)
+	if got := p.DurableWord(a); got != 0 {
+		t.Fatalf("store reached NVM without flush+fence: %d", got)
+	}
+	p.Flush(0, a)
+	if got := p.DurableWord(a); got != 0 {
+		t.Fatalf("flush alone made data durable: %d", got)
+	}
+	p.Fence(0)
+	if got := p.DurableWord(a); got != 42 {
+		t.Fatalf("after fence: durable=%d want 42", got)
+	}
+}
+
+func TestCrashDropAllLosesUnfencedWrites(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(128)
+	p.Store(0, a, 1)
+	p.Flush(0, a)
+	p.Fence(0) // durable
+	p.Store(0, a, 2)
+	p.Flush(0, a)       // in flight, not fenced
+	p.Store(0, a+64, 3) // dirty, never flushed
+	p.Crash(DropAll)
+	if got := p.Load(0, a); got != 1 {
+		t.Fatalf("fenced value lost or unfenced survived: %d", got)
+	}
+	if got := p.Load(0, a+64); got != 0 {
+		t.Fatalf("never-flushed line survived DropAll: %d", got)
+	}
+}
+
+func TestCrashKeepAllCommitsInFlight(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(128)
+	p.Store(0, a, 7)
+	p.Flush(0, a)
+	p.Store(0, a+64, 9) // dirty unflushed: eviction may persist it
+	p.Crash(KeepAll)
+	if got := p.Load(0, a); got != 7 {
+		t.Fatalf("in-flight flush dropped under KeepAll: %d", got)
+	}
+	if got := p.Load(0, a+64); got != 9 {
+		t.Fatalf("evictable dirty line dropped under KeepAll: %d", got)
+	}
+}
+
+func TestFlushSnapshotsLineAtFlushTime(t *testing.T) {
+	// clwb semantics: stores after the flush but before the fence are
+	// not necessarily covered by that flush.
+	p := New(1<<16, nil)
+	a := p.MustAlloc(64)
+	p.Store(0, a, 1)
+	p.Flush(0, a)
+	p.Store(0, a, 2) // after the flush
+	p.Fence(0)
+	if got := p.DurableWord(a); got != 1 {
+		t.Fatalf("fence committed post-flush store: durable=%d want 1", got)
+	}
+	// The cache still has 2; a second flush+fence persists it.
+	p.Flush(0, a)
+	p.Fence(0)
+	if got := p.DurableWord(a); got != 2 {
+		t.Fatalf("second flush+fence: durable=%d want 2", got)
+	}
+}
+
+func TestPersistentFenceAccounting(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(256)
+	p.Fence(0) // no pending: plain fence
+	st := p.StatsOf(0)
+	if st.Fences != 1 || st.PersistentFences != 0 {
+		t.Fatalf("plain fence miscounted: %+v", st)
+	}
+	p.Store(0, a, 1)
+	p.Flush(0, a)
+	p.Fence(0) // pending: persistent fence
+	st = p.StatsOf(0)
+	if st.Fences != 1 || st.PersistentFences != 1 {
+		t.Fatalf("persistent fence miscounted: %+v", st)
+	}
+	// Flushing a clean line then fencing is a plain fence.
+	p.Flush(0, a)
+	p.Fence(0)
+	st = p.StatsOf(0)
+	if st.Fences != 2 || st.PersistentFences != 1 {
+		t.Fatalf("clean-line flush should not make the fence persistent: %+v", st)
+	}
+}
+
+func TestFencesArePerProcess(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(128)
+	p.Store(1, a, 5)
+	p.Flush(1, a)
+	// A fence by process 2 does NOT commit process 1's write-backs.
+	p.Fence(2)
+	if got := p.DurableWord(a); got != 0 {
+		t.Fatalf("cross-process fence committed data: %d", got)
+	}
+	p.Fence(1)
+	if got := p.DurableWord(a); got != 5 {
+		t.Fatalf("own fence did not commit: %d", got)
+	}
+	if st := p.StatsOf(2); st.PersistentFences != 0 || st.Fences != 1 {
+		t.Fatalf("p2 stats wrong: %+v", st)
+	}
+}
+
+func TestCASActsOnCache(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(64)
+	if !p.CAS(0, a, 0, 10) {
+		t.Fatal("CAS from zero failed")
+	}
+	if p.CAS(0, a, 0, 11) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if got := p.Load(0, a); got != 10 {
+		t.Fatalf("after CAS: %d", got)
+	}
+	if got := p.DurableWord(a); got != 0 {
+		t.Fatalf("CAS wrote NVM directly: %d", got)
+	}
+}
+
+func TestPersistHelper(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(4 * LineSize)
+	for i := 0; i < 4*LineWords; i++ {
+		p.Store(0, a+Addr(i*WordSize), uint64(i)+1)
+	}
+	before := p.StatsOf(0)
+	p.Persist(0, a, 4*LineSize)
+	st := p.StatsOf(0)
+	if st.PersistentFences-before.PersistentFences != 1 {
+		t.Fatalf("Persist used %d persistent fences, want 1", st.PersistentFences-before.PersistentFences)
+	}
+	if st.Flushes-before.Flushes != 4 {
+		t.Fatalf("Persist flushed %d lines, want 4", st.Flushes-before.Flushes)
+	}
+	for i := 0; i < 4*LineWords; i++ {
+		if got := p.DurableWord(a + Addr(i*WordSize)); got != uint64(i)+1 {
+			t.Fatalf("word %d not durable: %d", i, got)
+		}
+	}
+}
+
+func TestAllocAlignmentAndExhaustion(t *testing.T) {
+	p := New(LineSize*8+rootBytes, nil)
+	a1 := p.MustAlloc(1)
+	if uint64(a1)%LineSize != 0 {
+		t.Fatalf("allocation not line-aligned: %#x", uint64(a1))
+	}
+	a2 := p.MustAlloc(LineSize + 1)
+	if uint64(a2)%LineSize != 0 || a2 <= a1 {
+		t.Fatalf("second allocation misplaced: %#x", uint64(a2))
+	}
+	if _, err := p.Alloc(1 << 30); err == nil {
+		t.Fatal("oversized allocation succeeded")
+	}
+	if _, err := p.Alloc(-1); err == nil {
+		t.Fatal("negative allocation succeeded")
+	}
+}
+
+func TestRoots(t *testing.T) {
+	p := New(1<<16, nil)
+	p.SetRoot(3, 0xdeadbeef)
+	p.Crash(DropAll)
+	if got := p.Root(3); got != 0xdeadbeef {
+		t.Fatalf("root lost in crash: %#x", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	p := New(1<<12, nil)
+	for _, fn := range []func(){
+		func() { p.Load(0, Addr(p.Size())) },
+		func() { p.Store(0, Addr(p.Size()+8), 1) },
+		func() { p.Load(0, 3) }, // unaligned
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := New(1<<14, nil)
+	a := p.MustAlloc(256)
+	for i := 0; i < 8; i++ {
+		p.Store(0, a+Addr(i*WordSize), uint64(i)*7)
+	}
+	p.Persist(0, a, 256)
+	p.Store(0, a, 999) // volatile-only, must not survive the image
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadImage(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Load(0, a); got != 0 {
+		t.Fatalf("volatile store leaked into image: %d", got)
+	}
+	for i := 1; i < 8; i++ {
+		if got := q.Load(0, a+Addr(i*WordSize)); got != uint64(i)*7 {
+			t.Fatalf("word %d: %d", i, got)
+		}
+	}
+	// Allocation frontier survives: next alloc does not overlap.
+	b := q.MustAlloc(64)
+	if b < a+256 {
+		t.Fatalf("restored pool re-allocated live memory: %#x", uint64(b))
+	}
+}
+
+func TestImageChecksumDetectsCorruption(t *testing.T) {
+	p := New(1<<13, nil)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	img[len(img)/2] ^= 0xff
+	if _, err := ReadImage(bytes.NewReader(img), nil); err == nil {
+		t.Fatal("corrupted image accepted")
+	}
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	p := New(1<<20, nil)
+	const nprocs = 8
+	regions := make([]Addr, nprocs)
+	for i := range regions {
+		regions[i] = p.MustAlloc(1024)
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < nprocs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			base := regions[pid]
+			for i := 0; i < 500; i++ {
+				a := base + Addr((i%16)*WordSize)
+				p.Store(pid, a, uint64(i))
+				p.Flush(pid, a)
+				if i%8 == 0 {
+					p.Fence(pid)
+				}
+				p.Load(pid, a)
+			}
+			p.Fence(pid)
+		}(pid)
+	}
+	wg.Wait()
+	for pid := 0; pid < nprocs; pid++ {
+		st := p.StatsOf(pid)
+		if st.Stores != 500 || st.Loads != 500 {
+			t.Fatalf("p%d stats: %+v", pid, st)
+		}
+	}
+}
+
+func TestSeededOracleDeterministic(t *testing.T) {
+	o1 := SeededOracle(42, 1, 2)
+	o2 := SeededOracle(42, 1, 2)
+	hits := 0
+	for line := uint64(0); line < 4096; line++ {
+		if o1(line) != o2(line) {
+			t.Fatal("oracle not deterministic")
+		}
+		if o1(line) {
+			hits++
+		}
+	}
+	if hits < 1500 || hits > 2600 {
+		t.Fatalf("oracle heavily biased: %d/4096 survive at p=1/2", hits)
+	}
+}
+
+func TestQuickDurabilityInvariant(t *testing.T) {
+	// Property: a value that was flushed and fenced survives any crash
+	// oracle; a value that was only stored survives DropAll never.
+	f := func(vals []uint64, seed uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		p := New(1<<16, nil)
+		durable := p.MustAlloc(LineSize * 64)
+		volatile := p.MustAlloc(LineSize * 64)
+		for i, v := range vals {
+			da := durable + Addr(i*LineSize)
+			p.Store(0, da, v)
+			p.Flush(0, da)
+			p.Store(0, volatile+Addr(i*LineSize), v|1)
+		}
+		p.Fence(0)
+		p.Crash(SeededOracle(seed, 1, 3))
+		for i, v := range vals {
+			if p.Load(0, durable+Addr(i*LineSize)) != v {
+				return false
+			}
+		}
+		p.Crash(DropAll)
+		for i, v := range vals {
+			if p.Load(0, durable+Addr(i*LineSize)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsStringAndAdd(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Loads: 1, Stores: 2, CASes: 3, Flushes: 4, Fences: 5, PersistentFences: 6, LinesPersisted: 7})
+	s.Add(Stats{Loads: 1})
+	if s.Loads != 2 || s.PersistentFences != 6 {
+		t.Fatalf("Add wrong: %+v", s)
+	}
+	want := fmt.Sprintf("loads=%d stores=%d cas=%d flushes=%d fences=%d pfences=%d lines=%d", 2, 2, 3, 4, 5, 6, 7)
+	if s.String() != want {
+		t.Fatalf("String: %q", s.String())
+	}
+}
+
+func TestVolatileLines(t *testing.T) {
+	p := New(1<<16, nil)
+	a := p.MustAlloc(LineSize * 4)
+	if p.VolatileLines() != 0 {
+		t.Fatal("fresh pool has dirty lines")
+	}
+	p.Store(0, a, 1)
+	p.Store(0, a+LineSize, 2)
+	if got := p.VolatileLines(); got != 2 {
+		t.Fatalf("dirty lines: %d want 2", got)
+	}
+	p.Flush(0, a)
+	p.Flush(0, a+LineSize)
+	p.Fence(0)
+	if got := p.VolatileLines(); got != 0 {
+		t.Fatalf("after persist, dirty lines: %d want 0", got)
+	}
+}

@@ -1,0 +1,81 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Robustness: ReadImage must reject (never panic on, never silently
+// accept) arbitrary corruptions of a valid image.
+func TestReadImageCorruptionFuzz(t *testing.T) {
+	p := New(1<<13, nil)
+	a := p.MustAlloc(256)
+	for i := 0; i < 16; i++ {
+		p.Store(0, a+Addr(i*WordSize), uint64(i)*31+7)
+	}
+	p.Persist(0, a, 256)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		img := append([]byte(nil), valid...)
+		switch trial % 4 {
+		case 0: // flip a byte
+			img[rng.Intn(len(img))] ^= byte(rng.Intn(255) + 1)
+		case 1: // truncate
+			img = img[:rng.Intn(len(img))]
+		case 2: // flip a bit in the header
+			img[rng.Intn(32)] ^= 1 << uint(rng.Intn(8))
+		case 3: // garbage prefix
+			for i := 0; i < 16; i++ {
+				img[i] = byte(rng.Int())
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadImage panicked: %v", trial, r)
+				}
+			}()
+			q, err := ReadImage(bytes.NewReader(img), nil)
+			if err == nil {
+				// Accepting is only OK if the corruption was a no-op
+				// (possible when the flipped byte equals its original).
+				if !bytes.Equal(img, valid) {
+					// Verify the restored content actually matches; if
+					// it does, the corruption hit padding — fine.
+					for i := 0; i < 16; i++ {
+						if q.DurableWord(a+Addr(i*WordSize)) != uint64(i)*31+7 {
+							t.Fatalf("trial %d: corrupted image accepted with wrong content", trial)
+						}
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Random garbage must never panic ReadImage.
+func TestReadImageGarbageFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(4096)
+		img := make([]byte, n)
+		rng.Read(img)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic on garbage: %v", trial, r)
+				}
+			}()
+			if _, err := ReadImage(bytes.NewReader(img), nil); err == nil {
+				t.Fatalf("trial %d: garbage accepted", trial)
+			}
+		}()
+	}
+}

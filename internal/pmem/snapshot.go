@@ -1,0 +1,115 @@
+package pmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// Pool images can be written to and restored from a file, which lets the
+// crash/recovery demo (cmd/onllcrash) span real OS processes: phase one
+// runs a workload, "crashes" (only the durable image is written out), and
+// phase two recovers from the file exactly as a machine would recover
+// from its NVDIMM after a power cycle.
+
+const imageMagic = 0x4f4e4c4c504d454d // "ONLLPMEM"
+
+// WriteImage serializes the *durable* contents of the pool (the cache is
+// volatile by definition and is not written). Statistics and allocation
+// frontier are included so a restored pool can keep allocating.
+func (p *Pool) WriteImage(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	h := fnv.New64a()
+	mw := io.MultiWriter(bw, h)
+	hdr := []uint64{imageMagic, uint64(len(p.persistent)), uint64(p.top), p.crashes}
+	for _, v := range hdr {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(mw, binary.LittleEndian, p.persistent); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum64()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadImage restores a pool from an image produced by WriteImage. The
+// returned pool has an empty cache (as after a crash) and the given gate.
+func ReadImage(r io.Reader, gate Gate) (*Pool, error) {
+	br := bufio.NewReader(r)
+	h := fnv.New64a()
+	tr := io.TeeReader(br, h)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(tr, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("pmem: short image header: %w", err)
+		}
+	}
+	if hdr[0] != imageMagic {
+		return nil, fmt.Errorf("pmem: bad image magic %#x", hdr[0])
+	}
+	words := hdr[1]
+	if words == 0 || words%LineWords != 0 || words > (1<<32) {
+		return nil, fmt.Errorf("pmem: implausible image size %d words", words)
+	}
+	p := New(int(words*WordSize), nil)
+	if gate != nil {
+		p.SetGate(gate)
+	}
+	p.persistent = make([]uint64, words)
+	if err := binary.Read(tr, binary.LittleEndian, p.persistent); err != nil {
+		return nil, fmt.Errorf("pmem: short image body: %w", err)
+	}
+	sum := h.Sum64()
+	var want uint64
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("pmem: missing image checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("pmem: image checksum mismatch (got %#x want %#x)", sum, want)
+	}
+	p.top = Addr(hdr[2])
+	p.crashes = hdr[3]
+	return p, nil
+}
+
+// Gate is re-exported so callers of ReadImage do not need to import
+// internal/sched just to pass nil.
+type Gate = interface{ Step(pid int, point string) }
+
+// SaveFile writes the durable image to path (atomic rename).
+func (p *Pool) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteImage(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a pool image from path.
+func LoadFile(path string, gate Gate) (*Pool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadImage(f, gate)
+}

@@ -1,0 +1,410 @@
+// Package sched provides deterministic scheduling of simulated processes.
+//
+// Every shared-memory primitive executed by the algorithms in this module
+// (loads, stores, CAS, flushes and fences on simulated NVM, as well as the
+// atomic operations of the volatile execution trace) passes through a Gate
+// before it executes. A Gate implementation may simply count steps, may
+// trigger a crash at a chosen step, or — via Controller — may suspend the
+// calling process until a test script explicitly grants it the next step.
+//
+// This is the substrate that lets us reproduce, instruction by instruction,
+// the constructed executions of the paper: the four worked executions of
+// Figure 1 and the adversarial schedules in the proof of the lower bound
+// (Theorem 6.3), where a process must be run "solo until just before the
+// response of op" and then preempted.
+//
+// Gate discipline: Step is always invoked *before* the primitive it
+// announces executes, and never while a lock is held, so a process held at
+// a gate has not yet performed the announced action and blocks nobody.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Gate observes (and possibly suspends) every shared-memory step of a
+// simulated process. Implementations must be safe for concurrent use.
+type Gate interface {
+	// Step announces that process pid is about to execute the primitive
+	// described by point (e.g. "pmem.store", "trace.cas-tail",
+	// "op.return"). Step may block the caller; it may also panic with
+	// ErrKilled to simulate the process being wiped out by a full-system
+	// crash.
+	Step(pid int, point string)
+}
+
+// NopGate is a Gate that lets every step through immediately.
+// It is the default for free-running (real-concurrency) executions.
+type NopGate struct{}
+
+// Step implements Gate.
+func (NopGate) Step(int, string) {}
+
+// killed is the panic value used to terminate a simulated process at a
+// gate point. It is unexported; use ErrKilled / IsKilled.
+type killed struct{}
+
+// ErrKilled is the value with which Step panics when the process has been
+// killed by a simulated full-system crash. Drivers created with
+// Controller.Spawn recover it automatically.
+var ErrKilled any = killed{}
+
+// IsKilled reports whether a recovered panic value is the controller's
+// kill signal.
+func IsKilled(v any) bool {
+	_, ok := v.(killed)
+	return ok
+}
+
+// StepCounter is a Gate that atomically counts steps, optionally invoking
+// a callback at a specific global step index. It is used by randomized
+// crash-injection tests: run a workload once to learn its length, pick a
+// uniform step, and re-run with a crash at that step.
+type StepCounter struct {
+	n       atomic.Uint64
+	crashAt uint64      // 0 = never
+	killedF atomic.Bool // set once the crash step is reached
+	onCrash func()      // invoked exactly once, at the crash step
+	once    sync.Once
+	perPid  [MaxPids]atomic.Uint64
+}
+
+// MaxPids bounds the process identifiers accepted by this package.
+const MaxPids = 64
+
+// NewStepCounter returns a counting gate. If crashAt > 0, the gate panics
+// with ErrKilled on every Step at or after global step crashAt, invoking
+// onCrash exactly once first (onCrash may be nil).
+func NewStepCounter(crashAt uint64, onCrash func()) *StepCounter {
+	return &StepCounter{crashAt: crashAt, onCrash: onCrash}
+}
+
+// Step implements Gate.
+func (c *StepCounter) Step(pid int, point string) {
+	if pid >= 0 && pid < MaxPids {
+		c.perPid[pid].Add(1)
+	}
+	n := c.n.Add(1)
+	if c.crashAt != 0 && n >= c.crashAt {
+		c.killedF.Store(true)
+	}
+	if c.killedF.Load() {
+		c.once.Do(func() {
+			if c.onCrash != nil {
+				c.onCrash()
+			}
+		})
+		panic(ErrKilled)
+	}
+}
+
+// Steps returns the number of steps observed so far.
+func (c *StepCounter) Steps() uint64 { return c.n.Load() }
+
+// StepsOf returns the number of steps taken by pid.
+func (c *StepCounter) StepsOf(pid int) uint64 {
+	if pid < 0 || pid >= MaxPids {
+		return 0
+	}
+	return c.perPid[pid].Load()
+}
+
+// Crashed reports whether the crash step has been reached.
+func (c *StepCounter) Crashed() bool { return c.killedF.Load() }
+
+// procState tracks a single simulated process under a Controller.
+type procState struct {
+	id     int
+	reqCh  chan string   // process -> controller: "I am at point X"
+	goCh   chan bool     // controller -> process: true = run, false = die
+	doneCh chan struct{} // closed when the process function returns
+	// held is the point the process is currently suspended at, valid
+	// only between the controller receiving a request and granting it.
+	held    string
+	hasHeld bool
+	killed  bool
+	done    atomic.Bool
+	// trace of points stepped through, for debugging and assertions.
+	history []string
+}
+
+// Controller is a Gate that gives a test script complete control over the
+// interleaving of a set of simulated processes. Each process runs in its
+// own goroutine (started with Spawn) and suspends at every gate point
+// until the script advances it with StepN, RunUntil or RunToCompletion.
+//
+// A Controller is single-scripted: the test goroutine drives processes one
+// at a time; suspended processes consume no CPU.
+type Controller struct {
+	mu     sync.Mutex
+	procs  map[int]*procState
+	record bool
+}
+
+// NewController returns an empty controller. Processes are added with
+// Spawn.
+func NewController() *Controller {
+	return &Controller{procs: make(map[int]*procState)}
+}
+
+// SetRecording enables per-process point histories (History method).
+func (c *Controller) SetRecording(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.record = on
+}
+
+func (c *Controller) proc(pid int) *procState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.procs[pid]
+	if p == nil {
+		panic(fmt.Sprintf("sched: unknown pid %d (not spawned)", pid))
+	}
+	return p
+}
+
+// Step implements Gate. It is called by the simulated process itself.
+// Steps by pids that were never spawned (setup code running on the test
+// goroutine, the pool's RootSystemPID, recovery) pass through freely —
+// only spawned processes are scheduled.
+func (c *Controller) Step(pid int, point string) {
+	c.mu.Lock()
+	p := c.procs[pid]
+	c.mu.Unlock()
+	if p == nil || p.done.Load() {
+		// Never-spawned or already-finished pid: recovery and other
+		// post-crash code may reuse pids of dead processes.
+		return
+	}
+	p.reqCh <- point
+	run := <-p.goCh
+	if !run {
+		panic(ErrKilled)
+	}
+}
+
+// Spawn starts fn as simulated process pid. fn must perform all its shared
+// accesses through gates wired to this controller (or to a Gate that
+// delegates to it) using the same pid. The returned channel receives the
+// outcome when fn finishes: nil on normal return, ErrKilled if the
+// process was killed, or the recovered panic value otherwise.
+func (c *Controller) Spawn(pid int, fn func()) <-chan any {
+	if pid < 0 || pid >= MaxPids {
+		panic(fmt.Sprintf("sched: pid %d out of range", pid))
+	}
+	p := &procState{
+		id:     pid,
+		reqCh:  make(chan string),
+		goCh:   make(chan bool),
+		doneCh: make(chan struct{}),
+	}
+	c.mu.Lock()
+	if _, dup := c.procs[pid]; dup {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("sched: pid %d already spawned", pid))
+	}
+	c.procs[pid] = p
+	c.mu.Unlock()
+
+	out := make(chan any, 1)
+	go func() {
+		defer close(p.doneCh)
+		defer p.done.Store(true)
+		defer func() {
+			r := recover()
+			if r == nil {
+				out <- nil
+			} else if IsKilled(r) {
+				out <- ErrKilled
+			} else {
+				out <- r
+			}
+		}()
+		fn()
+	}()
+	return out
+}
+
+// Release forgets a finished process so its pid can be reused by a later
+// Spawn (e.g. a post-recovery process reusing a pre-crash pid).
+func (c *Controller) Release(pid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.procs[pid]
+	if p == nil {
+		return
+	}
+	if !p.done.Load() {
+		panic(fmt.Sprintf("sched: Release(%d) of a live process", pid))
+	}
+	delete(c.procs, pid)
+}
+
+// Done reports whether process pid has finished (returned or been killed).
+func (c *Controller) Done(pid int) bool { return c.proc(pid).done.Load() }
+
+// Held returns the gate point at which pid is currently suspended, and
+// whether it is suspended at one. A process that has never been advanced
+// is not yet held (it is blocked sending its first request).
+func (c *Controller) Held(pid int) (string, bool) {
+	p := c.proc(pid)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return p.held, p.hasHeld
+}
+
+// History returns a copy of the points pid has stepped through (only
+// populated if SetRecording(true)).
+func (c *Controller) History(pid int) []string {
+	p := c.proc(pid)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(p.history))
+	copy(out, p.history)
+	return out
+}
+
+// fetch obtains the point pid is suspended at, waiting for the process to
+// arrive at its next gate if necessary. Returns ("", false) if the
+// process finished instead.
+func (c *Controller) fetch(p *procState) (string, bool) {
+	c.mu.Lock()
+	if p.hasHeld {
+		pt := p.held
+		c.mu.Unlock()
+		return pt, true
+	}
+	c.mu.Unlock()
+	select {
+	case pt := <-p.reqCh:
+		c.mu.Lock()
+		p.held, p.hasHeld = pt, true
+		c.mu.Unlock()
+		return pt, true
+	case <-p.doneCh:
+		return "", false
+	}
+}
+
+// grant releases pid from its current hold point, allowing exactly the
+// announced primitive to execute.
+func (c *Controller) grant(p *procState) {
+	c.mu.Lock()
+	if !p.hasHeld {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("sched: grant of pid %d which is not held", p.id))
+	}
+	if c.record {
+		p.history = append(p.history, p.held)
+	}
+	p.held, p.hasHeld = "", false
+	c.mu.Unlock()
+	p.goCh <- true
+}
+
+// StepN advances pid by exactly n gate steps (or fewer if it finishes)
+// and then parks it at its next gate point, so that when StepN returns
+// the process is deterministically suspended (or done) — it is NOT
+// still running code in the background. Returns the number of steps
+// actually granted.
+func (c *Controller) StepN(pid, n int) int {
+	p := c.proc(pid)
+	for i := 0; i < n; i++ {
+		if _, ok := c.fetch(p); !ok {
+			return i
+		}
+		c.grant(p)
+	}
+	c.fetch(p) // park at the next point (or observe completion)
+	return n
+}
+
+// RunUntil advances pid until it is suspended at a point for which pred
+// returns true, leaving it suspended there (the matching primitive has NOT
+// executed). It returns the matching point and true, or ("", false) if
+// the process finished without matching.
+func (c *Controller) RunUntil(pid int, pred func(point string) bool) (string, bool) {
+	p := c.proc(pid)
+	for {
+		pt, ok := c.fetch(p)
+		if !ok {
+			return "", false
+		}
+		if pred(pt) {
+			return pt, true
+		}
+		c.grant(p)
+	}
+}
+
+// RunPast advances pid until it has *executed* a point matching pred
+// (i.e. RunUntil followed by one grant). Returns the matched point.
+func (c *Controller) RunPast(pid int, pred func(point string) bool) (string, bool) {
+	pt, ok := c.RunUntil(pid, pred)
+	if !ok {
+		return "", false
+	}
+	c.grant(c.proc(pid))
+	return pt, true
+}
+
+// RunToCompletion advances pid until its function returns (or it is
+// killed by a concurrent KillAll).
+func (c *Controller) RunToCompletion(pid int) {
+	p := c.proc(pid)
+	for {
+		if _, ok := c.fetch(p); !ok {
+			return
+		}
+		c.grant(p)
+	}
+}
+
+// AtPoint is a convenience predicate matching an exact point name.
+func AtPoint(name string) func(string) bool {
+	return func(pt string) bool { return pt == name }
+}
+
+// KillAll simulates the process-killing effect of a full-system crash:
+// every live process is terminated at its current (or next) gate point,
+// without executing the announced primitive. KillAll returns once all
+// processes have unwound. The caller is responsible for applying the
+// memory effects of the crash (pmem.Pool.Crash).
+func (c *Controller) KillAll() {
+	c.mu.Lock()
+	procs := make([]*procState, 0, len(c.procs))
+	for _, p := range c.procs {
+		procs = append(procs, p)
+	}
+	c.mu.Unlock()
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
+		if p.done.Load() {
+			continue
+		}
+		// The process is either suspended at a held point, en route to
+		// its next gate, or about to finish. Wait for whichever comes
+		// first and kill it if it reaches a gate.
+		c.mu.Lock()
+		has := p.hasHeld
+		if has {
+			p.held, p.hasHeld = "", false
+		}
+		c.mu.Unlock()
+		if has {
+			p.goCh <- false
+			<-p.doneCh
+			continue
+		}
+		select {
+		case <-p.reqCh:
+			p.goCh <- false
+			<-p.doneCh
+		case <-p.doneCh:
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNopGate(t *testing.T) {
+	var g NopGate
+	g.Step(0, "anything") // must not block or panic
+}
+
+func TestControllerStepByStep(t *testing.T) {
+	ctl := NewController()
+	var log []string
+	done := ctl.Spawn(0, func() {
+		for _, pt := range []string{"a", "b", "c"} {
+			ctl.Step(0, pt)
+			log = append(log, pt)
+		}
+	})
+	if n := ctl.StepN(0, 2); n != 2 {
+		t.Fatalf("StepN granted %d", n)
+	}
+	if pt, ok := ctl.Held(0); !ok || pt != "c" {
+		t.Fatalf("held at %q/%v, want c", pt, ok)
+	}
+	if len(log) != 2 {
+		t.Fatalf("process executed %d points, want 2 (held before c)", len(log))
+	}
+	ctl.RunToCompletion(0)
+	if r := <-done; r != nil {
+		t.Fatalf("process failed: %v", r)
+	}
+	if strings.Join(log, "") != "abc" {
+		t.Fatalf("order: %v", log)
+	}
+}
+
+func TestRunUntilHoldsBeforeExecution(t *testing.T) {
+	ctl := NewController()
+	executed := false
+	ctl.Spawn(0, func() {
+		ctl.Step(0, "pre")
+		ctl.Step(0, "target")
+		executed = true
+	})
+	pt, ok := ctl.RunUntil(0, AtPoint("target"))
+	if !ok || pt != "target" {
+		t.Fatalf("RunUntil: %q %v", pt, ok)
+	}
+	if executed {
+		t.Fatal("primitive after target executed while held")
+	}
+	ctl.RunToCompletion(0)
+	if !executed {
+		t.Fatal("process never resumed")
+	}
+}
+
+func TestRunUntilReturnsFalseOnCompletion(t *testing.T) {
+	ctl := NewController()
+	ctl.Spawn(0, func() { ctl.Step(0, "only") })
+	if _, ok := ctl.RunUntil(0, AtPoint("never")); ok {
+		t.Fatal("RunUntil matched a nonexistent point")
+	}
+	if !ctl.Done(0) {
+		t.Fatal("process not done")
+	}
+}
+
+func TestRunPast(t *testing.T) {
+	ctl := NewController()
+	var hits int
+	ctl.Spawn(0, func() {
+		ctl.Step(0, "x")
+		hits++
+		ctl.Step(0, "y")
+		hits++
+	})
+	if pt, ok := ctl.RunPast(0, AtPoint("x")); !ok || pt != "x" {
+		t.Fatalf("RunPast: %q %v", pt, ok)
+	}
+	// After RunPast(x) the process has executed x's grant and is held
+	// at (or running toward) y.
+	ctl.RunToCompletion(0)
+	if hits != 2 {
+		t.Fatalf("hits=%d", hits)
+	}
+}
+
+func TestKillAllUnwindsHeldProcess(t *testing.T) {
+	ctl := NewController()
+	reached := false
+	done := ctl.Spawn(0, func() {
+		ctl.Step(0, "a")
+		ctl.Step(0, "b")
+		reached = true
+	})
+	ctl.RunUntil(0, AtPoint("b"))
+	ctl.KillAll()
+	if r := <-done; !IsKilled(r) {
+		t.Fatalf("outcome %v, want killed", r)
+	}
+	if reached {
+		t.Fatal("killed process executed past its hold point")
+	}
+}
+
+func TestKillAllMidFlight(t *testing.T) {
+	// Kill a process that is between gates (running toward its next
+	// Step): KillAll must wait for it and kill it at that gate.
+	ctl := NewController()
+	var mu sync.Mutex
+	count := 0
+	done := ctl.Spawn(0, func() {
+		for i := 0; i < 1000; i++ {
+			ctl.Step(0, "loop")
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}
+	})
+	ctl.StepN(0, 5)
+	ctl.KillAll()
+	if r := <-done; !IsKilled(r) {
+		t.Fatalf("outcome %v", r)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 5 {
+		t.Fatalf("process executed %d loop bodies, want exactly 5", count)
+	}
+}
+
+func TestKillAllIdempotentAndSkipsDone(t *testing.T) {
+	ctl := NewController()
+	done := ctl.Spawn(0, func() {})
+	<-done
+	ctl.KillAll() // no live processes: must not hang
+	ctl.KillAll()
+}
+
+func TestReleaseAllowsPidReuse(t *testing.T) {
+	ctl := NewController()
+	d1 := ctl.Spawn(0, func() {})
+	<-d1
+	ctl.Release(0)
+	d2 := ctl.Spawn(0, func() { ctl.Step(0, "z") })
+	ctl.RunToCompletion(0)
+	if r := <-d2; r != nil {
+		t.Fatal(r)
+	}
+}
+
+func TestSpawnDuplicatePanics(t *testing.T) {
+	ctl := NewController()
+	ctl.Spawn(1, func() { ctl.Step(1, "w") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate spawn accepted")
+		}
+		ctl.KillAll()
+	}()
+	ctl.Spawn(1, func() {})
+}
+
+func TestStepByUnspawnedPidPassesThrough(t *testing.T) {
+	ctl := NewController()
+	ctl.Step(63, "setup") // must not block
+}
+
+func TestHistoryRecording(t *testing.T) {
+	ctl := NewController()
+	ctl.SetRecording(true)
+	ctl.Spawn(0, func() {
+		ctl.Step(0, "p1")
+		ctl.Step(0, "p2")
+	})
+	ctl.RunToCompletion(0)
+	h := ctl.History(0)
+	if len(h) != 2 || h[0] != "p1" || h[1] != "p2" {
+		t.Fatalf("history: %v", h)
+	}
+}
+
+func TestTwoProcessInterleaving(t *testing.T) {
+	ctl := NewController()
+	var order []int
+	var mu sync.Mutex
+	rec := func(pid int) {
+		mu.Lock()
+		order = append(order, pid)
+		mu.Unlock()
+	}
+	ctl.Spawn(0, func() {
+		for i := 0; i < 3; i++ {
+			ctl.Step(0, "s")
+			rec(0)
+		}
+	})
+	ctl.Spawn(1, func() {
+		for i := 0; i < 3; i++ {
+			ctl.Step(1, "s")
+			rec(1)
+		}
+	})
+	// Scripted interleaving: 0,1,1,0,0,1.
+	ctl.StepN(0, 1)
+	ctl.StepN(1, 2)
+	ctl.StepN(0, 2)
+	ctl.StepN(1, 1)
+	ctl.RunToCompletion(0)
+	ctl.RunToCompletion(1)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{0, 1, 1, 0, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("interleaving %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStepCounter(t *testing.T) {
+	c := NewStepCounter(0, nil)
+	for i := 0; i < 10; i++ {
+		c.Step(i%2, "x")
+	}
+	if c.Steps() != 10 || c.StepsOf(0) != 5 || c.StepsOf(1) != 5 {
+		t.Fatalf("counts: %d %d %d", c.Steps(), c.StepsOf(0), c.StepsOf(1))
+	}
+	if c.Crashed() {
+		t.Fatal("crashed without a crash step")
+	}
+}
+
+func TestStepCounterCrashAt(t *testing.T) {
+	fired := 0
+	c := NewStepCounter(5, func() { fired++ })
+	survived := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil && !IsKilled(r) {
+					t.Fatalf("wrong panic %v", r)
+				}
+			}()
+			c.Step(0, "x")
+			survived++
+		}()
+	}
+	if survived != 4 {
+		t.Fatalf("%d steps survived before crash step 5, want 4", survived)
+	}
+	if fired != 1 {
+		t.Fatalf("onCrash fired %d times", fired)
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() false after the crash step")
+	}
+}
+
+func TestIsKilled(t *testing.T) {
+	if !IsKilled(ErrKilled) || IsKilled("other") || IsKilled(nil) {
+		t.Fatal("IsKilled misclassifies")
+	}
+}

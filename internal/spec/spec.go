@@ -1,0 +1,127 @@
+// Package spec defines the deterministic sequential-object model the
+// universal construction operates on (paper Section 2.2).
+//
+// The state of an object is, by definition, the sequence of update
+// operations applied to it starting with INITIALIZE; update operations
+// are deterministic, so replaying the sequence always yields the same
+// state. The construction assumes a compute method that, given a
+// read-only operation and a state, returns the operation's value; for an
+// update, the value is computed on the state immediately after appending
+// the update. State/Spec encode exactly that contract.
+//
+// Operations are fixed-width records (an opcode, three word arguments and
+// a unique id) so that persistent-log entries have a deterministic
+// layout. Objects whose natural keys are richer than uint64 are expected
+// to map them down (e.g. by interning); every object shipped in
+// internal/objects uses uint64 keys/values directly.
+package spec
+
+import "fmt"
+
+// OpWords is the number of 64-bit words an operation occupies on the
+// persistent log.
+const OpWords = 5
+
+// Op is one operation invocation: an object-specific opcode, up to three
+// word-sized arguments, and a unique id used for detectable execution
+// (after recovery, a process can ask whether the op with a given id was
+// linearized before the crash).
+type Op struct {
+	Code uint64
+	Args [3]uint64
+	ID   uint64
+}
+
+// Encode appends the wire representation of op to dst.
+func (o Op) Encode(dst []uint64) []uint64 {
+	return append(dst, o.Code, o.Args[0], o.Args[1], o.Args[2], o.ID)
+}
+
+// DecodeOp reads one operation from src.
+func DecodeOp(src []uint64) Op {
+	return Op{Code: src[0], Args: [3]uint64{src[1], src[2], src[3]}, ID: src[4]}
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("op{code=%d args=%v id=%#x}", o.Code, o.Args, o.ID)
+}
+
+// MakeID builds a globally unique operation id from a process id and that
+// process's per-process sequence number. ID 0 is reserved for "no id"
+// (INITIALIZE, recovery-internal ops), so seq starts at 1.
+func MakeID(pid int, seq uint64) uint64 {
+	return uint64(pid+1)<<48 | (seq & (1<<48 - 1))
+}
+
+// SplitID is the inverse of MakeID.
+func SplitID(id uint64) (pid int, seq uint64) {
+	return int(id>>48) - 1, id & (1<<48 - 1)
+}
+
+// Sentinel return values used by the shipped objects.
+const (
+	// RetEmpty is returned by removal/inspection ops on empty containers.
+	RetEmpty = ^uint64(0)
+	// RetMissing is returned by lookups of absent keys.
+	RetMissing = ^uint64(0) - 1
+	// RetFail is returned by failed conditional ops (CAS, overdraft...).
+	RetFail = ^uint64(0) - 2
+	// RetOK is the generic success value for ops without a payload result.
+	RetOK = uint64(1)
+)
+
+// State is a mutable sequential object state.
+//
+// Apply and Read must be deterministic. Snapshot must be deterministic
+// too (two states reached by the same update sequence must produce equal
+// snapshots) — checkers compare states by snapshot, and snapshots are
+// written to the persistent log by the compaction extension (paper
+// Section 8), then restored during recovery.
+type State interface {
+	// Apply executes an update operation, mutating the state, and
+	// returns the operation's return value (computed on the state
+	// immediately after the update, per the paper's compute contract).
+	Apply(op Op) uint64
+	// Read executes a read-only operation (no mutation).
+	Read(op Op) uint64
+	// Clone returns an independent deep copy.
+	Clone() State
+	// Snapshot serializes the state to words.
+	Snapshot() []uint64
+	// Restore replaces the state with a previously snapshotted one.
+	Restore(words []uint64) error
+}
+
+// Spec is a deterministic sequential object specification: a name and a
+// constructor for the state immediately after INITIALIZE.
+type Spec interface {
+	Name() string
+	New() State
+}
+
+// Replay applies ops in order to a fresh state and returns it, along with
+// the return value of the last op (RetOK for an empty sequence). It is
+// the reference "state = sequence of updates" evaluator used by tests
+// and checkers.
+func Replay(s Spec, ops []Op) (State, uint64) {
+	st := s.New()
+	ret := RetOK
+	for _, op := range ops {
+		ret = st.Apply(op)
+	}
+	return st, ret
+}
+
+// Equal reports whether two states serialize identically.
+func Equal(a, b State) bool {
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// TestWaitFreeManyStalledInsertersHelped: several processes announce
+// inserts and stall at their first help step; one live process's insert
+// must complete ALL of them (phase-ordered helping).
+func TestWaitFreeManyStalledInsertersHelped(t *testing.T) {
+	const stalled = 4
+	ctl := sched.NewController()
+	tr := NewWaitFree(ctl, stalled+1)
+	nodes := make([]*Node, stalled)
+	for i := 0; i < stalled; i++ {
+		i := i
+		nodes[i] = NewNode(spec.Op{Code: uint64(i + 1), ID: uint64(i + 1)})
+		ctl.Spawn(i, func() { tr.Insert(i, nodes[i]) })
+		if _, ok := ctl.RunUntil(i, sched.AtPoint("trace.wf.help")); !ok {
+			t.Fatalf("p%d finished before helping", i)
+		}
+	}
+	// The live process inserts; helpAll must complete every announced
+	// insert with a phase at most its own (all of the stalled ones).
+	live := NewNode(spec.Op{Code: 100, ID: 100})
+	done := ctl.Spawn(stalled, func() { tr.Insert(stalled, live) })
+	ctl.RunToCompletion(stalled)
+	if r := <-done; r != nil {
+		t.Fatalf("live insert failed: %v", r)
+	}
+	// All five nodes are in the trace exactly once, indices 1..5.
+	seen := map[uint64]uint64{}
+	for cur := tr.Tail(stalled); cur.Kind == KindUpdate; cur = cur.Next() {
+		if _, dup := seen[cur.Op.ID]; dup {
+			t.Fatalf("node %d appears twice", cur.Op.ID)
+		}
+		seen[cur.Op.ID] = cur.Idx()
+	}
+	if len(seen) != stalled+1 {
+		t.Fatalf("%d nodes in trace, want %d (stalled inserts not all helped)", len(seen), stalled+1)
+	}
+	idxSeen := map[uint64]bool{}
+	for id, idx := range seen {
+		if idx < 1 || idx > stalled+1 || idxSeen[idx] {
+			t.Fatalf("node %d has bad/duplicate idx %d", id, idx)
+		}
+		idxSeen[idx] = true
+	}
+	ctl.KillAll()
+}
+
+// TestWaitFreeStalledAtEveryHelpStep: stall the first inserter at each
+// successive help-loop step; a second inserter must always complete
+// both inserts, whatever the preemption point.
+func TestWaitFreeStalledAtEveryHelpStep(t *testing.T) {
+	for stallAfter := 0; stallAfter < 8; stallAfter++ {
+		stallAfter := stallAfter
+		t.Run(fmt.Sprintf("step=%d", stallAfter), func(t *testing.T) {
+			ctl := sched.NewController()
+			tr := NewWaitFree(ctl, 2)
+			n0 := NewNode(spec.Op{Code: 1, ID: 1})
+			d0 := ctl.Spawn(0, func() { tr.Insert(0, n0) })
+			if _, ok := ctl.RunUntil(0, sched.AtPoint("trace.wf.help")); !ok {
+				t.Skip("insert finished before first help step")
+			}
+			if n := ctl.StepN(0, stallAfter); n < stallAfter {
+				// p0 finished by itself (short schedules): that's fine,
+				// just verify and stop.
+				<-d0
+				if n0.Idx() != 1 {
+					t.Fatalf("idx %d", n0.Idx())
+				}
+				return
+			}
+			if ctl.Done(0) {
+				<-d0
+				if n0.Idx() != 1 {
+					t.Fatalf("idx %d", n0.Idx())
+				}
+				return
+			}
+			n1 := NewNode(spec.Op{Code: 2, ID: 2})
+			d1 := ctl.Spawn(1, func() { tr.Insert(1, n1) })
+			ctl.RunToCompletion(1)
+			if r := <-d1; r != nil {
+				t.Fatalf("p1 failed: %v", r)
+			}
+			// Both nodes linked, unique indices.
+			count := 0
+			prev := uint64(1 << 62)
+			for cur := tr.Tail(1); cur.Kind == KindUpdate; cur = cur.Next() {
+				if cur.Idx() >= prev {
+					t.Fatalf("indices not decreasing")
+				}
+				prev = cur.Idx()
+				count++
+			}
+			if count != 2 {
+				t.Fatalf("%d nodes in trace, want 2", count)
+			}
+			// Resume p0: it must finish promptly (wait-freedom) and
+			// agree about its node's position.
+			ctl.RunToCompletion(0)
+			if r := <-d0; r != nil {
+				t.Fatalf("p0 failed after resume: %v", r)
+			}
+			if n0.Idx() == 0 || n0.Idx() == n1.Idx() {
+				t.Fatalf("bad indices: n0=%d n1=%d", n0.Idx(), n1.Idx())
+			}
+			ctl.KillAll()
+		})
+	}
+}
+
+// TestWaitFreePredClaimRollback drives the specific race the rollback
+// path exists for: a claim on a stale tail must be rolled back and the
+// insert retried, never lost and never duplicated.
+func TestWaitFreePredClaimRollback(t *testing.T) {
+	// Two inserters interleaved step by step, many different phase
+	// offsets; the structural invariants after each round prove that
+	// no interleaving loses or duplicates a claim.
+	for offset := 0; offset < 12; offset++ {
+		ctl := sched.NewController()
+		tr := NewWaitFree(ctl, 2)
+		a := NewNode(spec.Op{Code: 1, ID: 1})
+		b := NewNode(spec.Op{Code: 2, ID: 2})
+		da := ctl.Spawn(0, func() { tr.Insert(0, a) })
+		db := ctl.Spawn(1, func() { tr.Insert(1, b) })
+		// Interleave: advance each by alternating bursts whose sizes
+		// depend on offset, until both finish.
+		for i := 0; !ctl.Done(0) || !ctl.Done(1); i++ {
+			pid := (i + offset) % 2
+			if !ctl.Done(pid) {
+				ctl.StepN(pid, 1+(offset+i)%3)
+			}
+		}
+		<-da
+		<-db
+		if a.Idx() == b.Idx() || a.Idx() == 0 || b.Idx() == 0 {
+			t.Fatalf("offset %d: indices %d/%d", offset, a.Idx(), b.Idx())
+		}
+		count := 0
+		for cur := tr.Tail(0); cur.Kind == KindUpdate; cur = cur.Next() {
+			count++
+		}
+		if count != 2 {
+			t.Fatalf("offset %d: %d nodes", offset, count)
+		}
+		ctl.KillAll()
+	}
+}

@@ -1,0 +1,72 @@
+// Package workload generates deterministic, seeded operation streams for
+// the shipped objects, used by the stress tests, the crash-injection
+// harness and the benchmark tables.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/objects"
+	"repro/internal/spec"
+)
+
+// Step is one generated operation invocation.
+type Step struct {
+	Code     uint64
+	Args     []uint64
+	IsUpdate bool
+}
+
+// Generator produces deterministic op streams for one object spec.
+type Generator struct {
+	sp      spec.Spec
+	updates []objects.OpInfo
+	reads   []objects.OpInfo
+	// KeySpace bounds generated argument values (small spaces create
+	// contention and collisions on maps/sets).
+	KeySpace uint64
+}
+
+// NewGenerator builds a generator for sp, which must describe its ops.
+func NewGenerator(sp spec.Spec) *Generator {
+	d, ok := sp.(objects.Describer)
+	if !ok {
+		panic(fmt.Sprintf("workload: spec %q does not describe its ops", sp.Name()))
+	}
+	g := &Generator{sp: sp, KeySpace: 64}
+	for _, oi := range d.Ops() {
+		if oi.Kind == objects.KindUpdate {
+			g.updates = append(g.updates, oi)
+		} else {
+			g.reads = append(g.reads, oi)
+		}
+	}
+	return g
+}
+
+// Stream returns n steps for one process: updates with probability
+// updatePct/100, reads otherwise, drawn deterministically from seed.
+func (g *Generator) Stream(seed int64, n, updatePct int) []Step {
+	rng := rand.New(rand.NewSource(seed))
+	steps := make([]Step, 0, n)
+	for i := 0; i < n; i++ {
+		var oi objects.OpInfo
+		isUpdate := rng.Intn(100) < updatePct
+		if isUpdate || len(g.reads) == 0 {
+			oi = g.updates[rng.Intn(len(g.updates))]
+			isUpdate = true
+		} else {
+			oi = g.reads[rng.Intn(len(g.reads))]
+		}
+		st := Step{Code: oi.Code, IsUpdate: isUpdate}
+		for k := 0; k < oi.Arity; k++ {
+			st.Args = append(st.Args, uint64(rng.Int63n(int64(g.KeySpace)))+1)
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// Spec returns the generator's object specification.
+func (g *Generator) Spec() spec.Spec { return g.sp }

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/spec"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	g := NewGenerator(objects.MapSpec{})
+	a := g.Stream(42, 100, 50)
+	b := g.Stream(42, 100, 50)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Code != b[i].Code || a[i].IsUpdate != b[i].IsUpdate {
+			t.Fatalf("step %d differs", i)
+		}
+		for k := range a[i].Args {
+			if a[i].Args[k] != b[i].Args[k] {
+				t.Fatalf("step %d arg %d differs", i, k)
+			}
+		}
+	}
+	c := g.Stream(43, 100, 50)
+	same := true
+	for i := range a {
+		if a[i].Code != c[i].Code {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamUpdateRatio(t *testing.T) {
+	g := NewGenerator(objects.CounterSpec{})
+	for _, pct := range []int{0, 50, 100} {
+		steps := g.Stream(7, 2000, pct)
+		updates := 0
+		for _, s := range steps {
+			if s.IsUpdate {
+				updates++
+			}
+		}
+		got := updates * 100 / len(steps)
+		if pct == 100 && got != 100 {
+			t.Fatalf("pct=100: got %d%%", got)
+		}
+		if pct == 0 && got != 0 {
+			t.Fatalf("pct=0: got %d%%", got)
+		}
+		if pct == 50 && (got < 40 || got > 60) {
+			t.Fatalf("pct=50: got %d%%", got)
+		}
+	}
+}
+
+func TestStreamArgsWithinKeySpace(t *testing.T) {
+	g := NewGenerator(objects.MapSpec{})
+	g.KeySpace = 8
+	for _, s := range g.Stream(1, 500, 100) {
+		for i := 0; i < argCount(s); i++ {
+			if s.Args[i] < 1 || s.Args[i] > 8 {
+				t.Fatalf("arg %d out of keyspace: %d", i, s.Args[i])
+			}
+		}
+	}
+}
+
+func argCount(s Step) int { return len(s.Args) }
+
+func TestStreamValidOpcodesForAllObjects(t *testing.T) {
+	for _, sp := range objects.All() {
+		g := NewGenerator(sp)
+		st := sp.New()
+		for _, s := range g.Stream(3, 300, 60) {
+			var op spec.Op
+			op.Code = s.Code
+			copy(op.Args[:], s.Args)
+			if s.IsUpdate {
+				st.Apply(op) // panics on a bad opcode
+			} else {
+				st.Read(op)
+			}
+		}
+		if g.Spec().Name() != sp.Name() {
+			t.Fatal("Spec accessor wrong")
+		}
+	}
+}
