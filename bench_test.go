@@ -28,7 +28,8 @@ const resetEvery = 1 << 14
 
 // benchObj runs op b.N times against objects produced by make,
 // recreating the object every resetEvery iterations (outside the
-// timer), and reports persistent fences per op.
+// timer), and reports persistent fences and allocations per op (the
+// allocation-free steady-state claim is regression-guarded here).
 func benchObj(b *testing.B, make func() (*pmem.Pool, baselines.Object), op func(obj baselines.Object, i int)) {
 	b.Helper()
 	var pool *pmem.Pool
@@ -38,10 +39,10 @@ func benchObj(b *testing.B, make func() (*pmem.Pool, baselines.Object), op func(
 		if pool != nil {
 			pfences += pool.TotalStats().PersistentFences
 		}
-		pool, obj = nil, nil
-		pool, obj = func() (*pmem.Pool, baselines.Object) { return make() }()
+		pool, obj = make()
 		pool.ResetStats()
 	}
+	b.ReportAllocs()
 	b.StopTimer()
 	rotate()
 	b.StartTimer()

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	onllbench [-exp all|e1|e2|e4|e5|e6|e7|e8|e9|e10|e11|e12] [-procs 4] [-ops 2000] [-seed 1]
+//	onllbench [-exp all|e1|e2|e4|e5|e6|e7|e8|e9|e10|e11|e12|et] [-procs 4] [-ops 2000] [-seed 1]
+//	onllbench -exp et -json   # also write the BENCH_throughput.json artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -32,11 +35,17 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment to run (all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12)")
+	expFlag   = flag.String("exp", "all", "experiment to run (all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, et)")
 	procsFlag = flag.Int("procs", 4, "maximum process count for sweeps")
 	opsFlag   = flag.Int("ops", 2000, "operations per process")
 	seedFlag  = flag.Int64("seed", 1, "workload seed")
+	jsonFlag  = flag.Bool("json", false, "write the et throughput trajectory to "+jsonPath)
 )
+
+// jsonPath is the trajectory artifact the -json mode maintains: the
+// throughput suite's measurements, next to the recorded pre-sharding
+// baseline, so the repo carries its own before/after evidence.
+const jsonPath = "BENCH_throughput.json"
 
 const poolSize = 1 << 27
 
@@ -45,7 +54,7 @@ func main() {
 	exps := map[string]func() error{
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6,
 		"e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11, "e12": e12,
-		"e13": e13,
+		"e13": e13, "et": et,
 	}
 	var names []string
 	if *expFlag == "all" {
@@ -610,5 +619,162 @@ func e12() error {
 		}
 	}
 	fmt.Println("PASS: the wait-free variant preserves the one-fence bound")
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// et: the parallel throughput suite (mirrors BenchmarkThroughput).
+// ---------------------------------------------------------------------
+
+// throughputPoint is one measurement of the suite.
+type throughputPoint struct {
+	Workload      string  `json:"workload"` // "updates" or "mixed50"
+	Procs         int     `json:"procs"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	PFencesPerUpd float64 `json:"pfences_per_update"`
+}
+
+// throughputBaseline records the suite's numbers measured against the
+// seed's global-mutex pool (map-backed cache, map-backed pending and
+// stats) on this suite's exact workload, immediately before the
+// sharded-pool rewrite. They are the "before" half of the trajectory
+// artifact; `onllbench -exp et -json` regenerates the "after" half.
+var throughputBaseline = []throughputPoint{
+	{Workload: "updates", Procs: 1, OpsPerSec: 1036824, NsPerOp: 964.5},
+	{Workload: "updates", Procs: 2, OpsPerSec: 845365, NsPerOp: 1183},
+	{Workload: "updates", Procs: 4, OpsPerSec: 747029, NsPerOp: 1339},
+	{Workload: "updates", Procs: 8, OpsPerSec: 666491, NsPerOp: 1500},
+	{Workload: "mixed50", Procs: 1, OpsPerSec: 2073624, NsPerOp: 482.2},
+	{Workload: "mixed50", Procs: 2, OpsPerSec: 1517049, NsPerOp: 659.2},
+	{Workload: "mixed50", Procs: 4, OpsPerSec: 1477231, NsPerOp: 676.9},
+	{Workload: "mixed50", Procs: 8, OpsPerSec: 1350483, NsPerOp: 740.5},
+}
+
+// measureThroughput drives nprocs goroutine-backed handles, updatePct
+// percent updates, and returns the measured point.
+func measureThroughput(nprocs, updatePct, totalOps int) (throughputPoint, error) {
+	pool := pmem.New(1<<26, nil)
+	in, err := core.New(pool, objects.CounterSpec{}, core.Config{
+		NProcs: nprocs, LocalViews: true, CompactEvery: 1 << 10, LogCapacity: 1 << 12,
+	})
+	if err != nil {
+		return throughputPoint{}, err
+	}
+	// Warm up on the same instance so the measured pass is steady state:
+	// lines faulted in, scratch buffers grown, local views caught up.
+	for pid := 0; pid < nprocs; pid++ {
+		h := in.Handle(pid)
+		for i := 0; i < 200; i++ {
+			if _, _, err := h.Update(objects.CounterInc); err != nil {
+				return throughputPoint{}, err
+			}
+			h.Read(objects.CounterGet)
+		}
+	}
+	pool.ResetStats()
+	per := totalOps / nprocs
+	updates := 0
+	for i := 0; i < per; i++ {
+		if i%100 < updatePct {
+			updates++
+		}
+	}
+	updates *= nprocs
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < nprocs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h := in.Handle(pid)
+			for i := 0; i < per; i++ {
+				if i%100 < updatePct {
+					if _, _, err := h.Update(objects.CounterInc); err != nil {
+						panic(err)
+					}
+				} else {
+					h.Read(objects.CounterGet)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	total := per * nprocs
+	wl := "updates"
+	if updatePct < 100 {
+		wl = fmt.Sprintf("mixed%d", updatePct)
+	}
+	pt := throughputPoint{
+		Workload:  wl,
+		Procs:     nprocs,
+		OpsPerSec: float64(total) / el.Seconds(),
+		NsPerOp:   float64(el.Nanoseconds()) / float64(total),
+	}
+	if updates > 0 {
+		pt.PFencesPerUpd = float64(pool.TotalStats().PersistentFences) / float64(updates)
+	}
+	return pt, nil
+}
+
+// et: simulator-substrate throughput scaling over 1/2/4/8 processes.
+func et() error {
+	header("ET: parallel throughput suite (sharded pool vs recorded global-mutex baseline)")
+	row("workload/procs", "ops/sec", "ns/op", "pf/update", "vs baseline")
+	baseline := func(wl string, procs int) float64 {
+		for _, b := range throughputBaseline {
+			if b.Workload == wl && b.Procs == procs {
+				return b.OpsPerSec
+			}
+		}
+		return 0
+	}
+	const totalOps = 200_000
+	var current []throughputPoint
+	for _, updatePct := range []int{100, 50} {
+		for _, nprocs := range []int{1, 2, 4, 8} {
+			pt, err := measureThroughput(nprocs, updatePct, totalOps)
+			if err != nil {
+				return err
+			}
+			current = append(current, pt)
+			speedup := "n/a"
+			if b := baseline(pt.Workload, pt.Procs); b > 0 {
+				speedup = fmt.Sprintf("%.2fx", pt.OpsPerSec/b)
+			}
+			row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
+				fmt.Sprintf("%.0f", pt.OpsPerSec),
+				fmt.Sprintf("%.0f", pt.NsPerOp),
+				fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
+		}
+	}
+	if *jsonFlag {
+		artifact := struct {
+			Schema        string            `json:"schema"`
+			GeneratedUnix int64             `json:"generated_unix"`
+			GoMaxProcs    int               `json:"go_max_procs"`
+			BaselineNote  string            `json:"baseline_note"`
+			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
+			Current       []throughputPoint `json:"current_sharded_pool"`
+		}{
+			Schema:        "bench_throughput/v1",
+			GeneratedUnix: time.Now().Unix(),
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			BaselineNote: "baseline measured on the seed's single-mutex map-backed pool " +
+				"with the identical workload, before the lock-striped rewrite",
+			Baseline: throughputBaseline,
+			Current:  current,
+		}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	fmt.Println("NOTE: ops/sec here measures the simulator substrate, not real NVM.")
 	return nil
 }

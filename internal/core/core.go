@@ -225,6 +225,13 @@ type Handle struct {
 	viewIdx  uint64
 	viewSeqs []uint64
 
+	// Scratch buffers reused across operations (a Handle runs one
+	// operation at a time, enforced by busy), keeping steady-state
+	// replay allocation-free: fuzzyBuf caps out at the fuzzy-window
+	// bound (Proposition 5.2), nodeBuf at the read lag.
+	fuzzyBuf []spec.Op
+	nodeBuf  []*trace.Node
+
 	sinceCompact int
 	busy         atomic.Bool // guards against misuse (two ops at once)
 }
@@ -268,8 +275,11 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	in.gate.Step(h.pid, PointOrdered)
 
 	// Persist: this operation plus the fuzzy window before it (helping
-	// delayed processes), one log append, ONE persistent fence.
-	fuzzy := trace.GetFuzzyOps(in.gate, h.pid, node)
+	// delayed processes), one log append, ONE persistent fence. The
+	// scratch buffer is safe to reuse: Append copies the ops into NVM
+	// and retains nothing.
+	h.fuzzyBuf = trace.GetFuzzyOpsInto(h.fuzzyBuf, in.gate, h.pid, node)
+	fuzzy := h.fuzzyBuf
 	if in.cfg.UnsafeNoHelping {
 		// ABLATION (E13): persist only our own operation.
 		fuzzy = []spec.Op{op}
@@ -329,7 +339,8 @@ func (h *Handle) computeUpdate(node *trace.Node) uint64 {
 	// Fresh replay (no local views, or — defensively — a view that has
 	// somehow moved past node).
 	st := h.in.sp.New()
-	nodes, base := trace.CollectBack(node, 0)
+	nodes, base := trace.CollectBackInto(h.nodeBuf, node, 0)
+	h.nodeBuf = nodes
 	if base != nil {
 		if err := st.Restore(base.Snap); err != nil {
 			panic(fmt.Sprintf("core: corrupt base snapshot: %v", err))
@@ -355,7 +366,8 @@ func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 		return h.view.Read(op)
 	}
 	st := h.in.sp.New()
-	nodes, base := trace.CollectBack(node, 0)
+	nodes, base := trace.CollectBackInto(h.nodeBuf, node, 0)
+	h.nodeBuf = nodes
 	if base != nil {
 		if err := st.Restore(base.Snap); err != nil {
 			panic(fmt.Sprintf("core: corrupt base snapshot: %v", err))
@@ -372,7 +384,8 @@ func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 // operation). If the walk meets a compaction base newer than the view,
 // the view is restored from the base first.
 func (h *Handle) advanceView(node *trace.Node) uint64 {
-	nodes, base := trace.CollectBack(node, h.viewIdx)
+	nodes, base := trace.CollectBackInto(h.nodeBuf, node, h.viewIdx)
+	h.nodeBuf = nodes
 	if base != nil && base.Idx() > h.viewIdx {
 		if err := h.view.Restore(base.Snap); err != nil {
 			panic(fmt.Sprintf("core: corrupt base snapshot: %v", err))

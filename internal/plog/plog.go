@@ -88,6 +88,12 @@ type Log struct {
 	snapRegion [2]pmem.Addr
 	snapCap    [2]int // words
 	snapNext   int
+
+	// Encoding scratch, reused across appends (a Log is owned by one
+	// process, so appends never overlap): steady-state Append is
+	// allocation-free once both buffers reach the record size.
+	encBuf []uint64 // Append payload
+	recBuf []uint64 // appendRecord slot image
 }
 
 // SlotWords returns the number of words per record slot for a log that
@@ -216,10 +222,11 @@ func (l *Log) Append(ops []spec.Op, execIdx uint64) (uint64, error) {
 	if len(ops) == 0 || len(ops) > l.maxOps {
 		return 0, ErrTooMany
 	}
-	payload := make([]uint64, 0, len(ops)*spec.OpWords)
+	payload := l.encBuf[:0]
 	for _, op := range ops {
 		payload = op.Encode(payload)
 	}
+	l.encBuf = payload
 	return l.appendRecord(KindOps, execIdx, payload)
 }
 
@@ -276,10 +283,11 @@ func (l *Log) appendRecord(kind int, execIdx uint64, payload []uint64) (uint64, 
 		return 0, ErrFull
 	}
 	seq := l.nextSeq
-	words := make([]uint64, 0, 3+len(payload)+1)
+	words := l.recBuf[:0]
 	words = append(words, seq, uint64(kind)<<32|uint64(len(payload)), execIdx)
 	words = append(words, payload...)
 	words = append(words, checksum(words))
+	l.recBuf = words
 	addr := l.slotAddr(seq)
 	for i, w := range words {
 		l.pool.Store(l.pid, addr+pmem.Addr(i*pmem.WordSize), w)

@@ -36,33 +36,30 @@ func SeededEviction(seed uint64, rate uint64) EvictionPolicy {
 // SetEviction installs an eviction policy (nil disables). Must not be
 // called concurrently with memory operations.
 func (p *Pool) SetEviction(ep EvictionPolicy) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.lockAll()
+	defer p.unlockAll()
 	p.evict = ep
 }
 
-// maybeEvict is called under p.mu after a store dirtied line li.
+// maybeEvict is called with li's shard lock held, after a store dirtied
+// line li.
 func (p *Pool) maybeEvict(li uint64) {
 	if p.evict == nil {
 		return
 	}
-	p.evictCount++
-	if !p.evict(li, p.evictCount) {
+	count := p.evictCount.Add(1)
+	if !p.evict(li, count) {
 		return
 	}
-	cl := p.cache[li]
-	if cl == nil || !cl.dirty {
+	cl := &p.cache[li]
+	if !cl.resident || !cl.dirty {
 		return
 	}
 	base := li * LineWords
 	copy(p.persistent[base:base+LineWords], cl.words[:])
 	cl.dirty = false
-	p.evictions++
+	p.evictions.Add(1)
 }
 
 // Evictions returns the number of spontaneous write-backs performed.
-func (p *Pool) Evictions() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.evictions
-}
+func (p *Pool) Evictions() uint64 { return p.evictions.Load() }

@@ -25,12 +25,24 @@
 // that statistics are attributed per process (fences are per-CPU on real
 // hardware) and so that a sched.Gate can interpose deterministic
 // scheduling or crash injection.
+//
+// Concurrency design: the pool is lock-striped. The volatile cache is a
+// dense []cacheLine slice (line index -> slot, no per-line heap
+// allocation) guarded by shardCount mutexes keyed on the line index, so
+// simulated processes touching disjoint lines — the common case: each
+// process appends to its own persistent log — never contend. Pending
+// write-back sets are fixed-size per-pid slices (a process's pending set
+// is touched only by that process and by Crash), and statistics are
+// per-pid atomic counters, so StatsOf/TotalStats never block memory
+// traffic. Lock order, where two kinds are held together, is always
+// pending-before-shard; shard locks are ranked by shard index.
 package pmem
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -41,6 +53,10 @@ const (
 	LineWords = 8                    // words per cache line
 	LineSize  = WordSize * LineWords // bytes per cache line (64, as on x86)
 )
+
+// shardCount stripes the cache locks; consecutive lines map to distinct
+// shards so streaming writes spread out. Must be a power of two.
+const shardCount = 64
 
 // Addr is a byte address into a Pool. All word accesses must be
 // word-aligned.
@@ -113,10 +129,59 @@ func (s Stats) String() string {
 		s.Loads, s.Stores, s.CASes, s.Flushes, s.Fences, s.PersistentFences, s.LinesPersisted)
 }
 
-// cacheLine is the volatile copy of one line.
+// pidStats is the lock-free per-process accumulator behind Stats,
+// padded to a full cache line so adjacent pids' counters never false-
+// share (they are incremented on every memory primitive).
+type pidStats struct {
+	loads, stores, cases, flushes   atomic.Uint64
+	fences, pfences, linesPersisted atomic.Uint64
+	_                               uint64 // pad to 64 bytes
+}
+
+func (s *pidStats) snapshot() Stats {
+	return Stats{
+		Loads:            s.loads.Load(),
+		Stores:           s.stores.Load(),
+		CASes:            s.cases.Load(),
+		Flushes:          s.flushes.Load(),
+		Fences:           s.fences.Load(),
+		PersistentFences: s.pfences.Load(),
+		LinesPersisted:   s.linesPersisted.Load(),
+	}
+}
+
+func (s *pidStats) reset() {
+	s.loads.Store(0)
+	s.stores.Store(0)
+	s.cases.Store(0)
+	s.flushes.Store(0)
+	s.fences.Store(0)
+	s.pfences.Store(0)
+	s.linesPersisted.Store(0)
+}
+
+// cacheLine is the volatile copy of one line, stored inline in the dense
+// cache slice (no per-line heap allocation).
 type cacheLine struct {
+	words    [LineWords]uint64
+	resident bool // line has a volatile copy (faulted in by a store/CAS)
+	dirty    bool
+}
+
+// pendingEntry is one flushed-but-unfenced line snapshot.
+type pendingEntry struct {
+	line  uint64
 	words [LineWords]uint64
-	dirty bool
+}
+
+// pidPending is one process's pending write-back set. The entries slice
+// is reused across fences, so the steady-state flush/fence cycle is
+// allocation-free. The mutex exists only for Crash/WriteImage (which
+// quiesce all processes); a process's own Flush/Fence never contend.
+type pidPending struct {
+	mu      sync.Mutex
+	entries []pendingEntry
+	_       [4]uint64 // pad to 64 bytes: no false sharing between pids
 }
 
 // Pool is one simulated NVM device plus the volatile cache in front of
@@ -126,21 +191,23 @@ type cacheLine struct {
 type Pool struct {
 	gate sched.Gate
 
-	mu         sync.Mutex
-	persistent []uint64              // the durable image, in words
-	cache      map[uint64]*cacheLine // line index -> volatile contents
-	// pending maps pid -> (line index -> snapshot of the line contents
-	// at the time Flush was issued). A fence by pid commits and clears
-	// pid's pending set.
-	pending map[int]map[uint64][LineWords]uint64
-	stats   map[int]*Stats
-	top     Addr // bump-allocation frontier
-	crashes uint64
+	persistent []uint64    // the durable image, in words (immutable length)
+	cache      []cacheLine // dense volatile cache, line index -> slot
+	shards     [shardCount]sync.Mutex
+
+	// pending[pid] holds snapshots of the lines pid has flushed since its
+	// last fence. A fence by pid commits and clears pid's set.
+	pending [sched.MaxPids]pidPending
+	stats   [sched.MaxPids]pidStats
+
+	allocMu sync.Mutex
+	top     Addr // bump-allocation frontier, guarded by allocMu
+	crashes atomic.Uint64
 
 	// Spontaneous-eviction simulation (see eviction.go).
 	evict      EvictionPolicy
-	evictCount uint64
-	evictions  uint64
+	evictCount atomic.Uint64
+	evictions  atomic.Uint64
 }
 
 // Reserved root area: the first rootCount words of the pool are a root
@@ -170,9 +237,7 @@ func New(size int, gate sched.Gate) *Pool {
 	p := &Pool{
 		gate:       gate,
 		persistent: make([]uint64, lines*LineWords),
-		cache:      make(map[uint64]*cacheLine),
-		pending:    make(map[int]map[uint64][LineWords]uint64),
-		stats:      make(map[int]*Stats),
+		cache:      make([]cacheLine, lines),
 		top:        rootBytes,
 	}
 	return p
@@ -187,43 +252,35 @@ func (p *Pool) SetGate(g sched.Gate) {
 	p.gate = g
 }
 
-// Size returns the pool size in bytes.
-func (p *Pool) Size() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.persistent) * WordSize
+// shard returns the mutex striping line li.
+func (p *Pool) shard(li uint64) *sync.Mutex {
+	return &p.shards[li&(shardCount-1)]
 }
+
+func checkPid(pid int) {
+	if pid < 0 || pid >= sched.MaxPids {
+		panic(fmt.Sprintf("pmem: pid %d out of range [0,%d)", pid, sched.MaxPids))
+	}
+}
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() int { return len(p.persistent) * WordSize }
 
 // Crashes returns the number of crashes the pool has survived.
-func (p *Pool) Crashes() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.crashes
-}
-
-func (p *Pool) statsOf(pid int) *Stats {
-	s := p.stats[pid]
-	if s == nil {
-		s = &Stats{}
-		p.stats[pid] = s
-	}
-	return s
-}
+func (p *Pool) Crashes() uint64 { return p.crashes.Load() }
 
 // StatsOf returns a copy of the statistics of process pid.
 func (p *Pool) StatsOf(pid int) Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return *p.statsOf(pid)
+	checkPid(pid)
+	return p.stats[pid].snapshot()
 }
 
 // TotalStats returns the sum of all per-process statistics.
 func (p *Pool) TotalStats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var t Stats
-	for _, s := range p.stats {
-		t.Add(*s)
+	for pid := range p.stats {
+		s := p.stats[pid].snapshot()
+		t.Add(s)
 	}
 	return t
 }
@@ -231,9 +288,9 @@ func (p *Pool) TotalStats() Stats {
 // ResetStats zeroes all statistics (typically called after setup so that
 // experiment tables reflect steady state only).
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = make(map[int]*Stats)
+	for pid := range p.stats {
+		p.stats[pid].reset()
+	}
 }
 
 func (p *Pool) checkAddr(a Addr) {
@@ -246,16 +303,14 @@ func (p *Pool) checkAddr(a Addr) {
 	}
 }
 
-// line returns the cached copy of the line containing a, faulting it in
-// from the persistent image if needed. Caller holds p.mu.
-func (p *Pool) line(a Addr) *cacheLine {
-	li := a.Line()
-	cl := p.cache[li]
-	if cl == nil {
-		cl = &cacheLine{}
+// line returns the volatile copy of line li, faulting it in from the
+// persistent image if needed. Caller holds li's shard lock.
+func (p *Pool) line(li uint64) *cacheLine {
+	cl := &p.cache[li]
+	if !cl.resident {
 		base := li * LineWords
 		copy(cl.words[:], p.persistent[base:base+LineWords])
-		p.cache[li] = cl
+		cl.resident = true
 	}
 	return cl
 }
@@ -263,12 +318,14 @@ func (p *Pool) line(a Addr) *cacheLine {
 // Load reads the word at addr as seen by the running system (cache first).
 func (p *Pool) Load(pid int, addr Addr) uint64 {
 	p.gate.Step(pid, "pmem.load")
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	checkPid(pid)
 	p.checkAddr(addr)
-	p.statsOf(pid).Loads++
+	p.stats[pid].loads.Add(1)
 	li := addr.Line()
-	if cl := p.cache[li]; cl != nil {
+	mu := p.shard(li)
+	mu.Lock()
+	defer mu.Unlock()
+	if cl := &p.cache[li]; cl.resident {
 		return cl.words[addr.word()%LineWords]
 	}
 	return p.persistent[addr.word()]
@@ -278,14 +335,17 @@ func (p *Pool) Load(pid int, addr Addr) uint64 {
 // and fenced).
 func (p *Pool) Store(pid int, addr Addr, val uint64) {
 	p.gate.Step(pid, "pmem.store")
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	checkPid(pid)
 	p.checkAddr(addr)
-	p.statsOf(pid).Stores++
-	cl := p.line(addr)
+	p.stats[pid].stores.Add(1)
+	li := addr.Line()
+	mu := p.shard(li)
+	mu.Lock()
+	defer mu.Unlock()
+	cl := p.line(li)
 	cl.words[addr.word()%LineWords] = val
 	cl.dirty = true
-	p.maybeEvict(addr.Line())
+	p.maybeEvict(li)
 }
 
 // CAS atomically compares the word at addr with old and, if equal, writes
@@ -295,18 +355,21 @@ func (p *Pool) Store(pid int, addr Addr, val uint64) {
 // cache/coherency-level operation.)
 func (p *Pool) CAS(pid int, addr Addr, old, new uint64) bool {
 	p.gate.Step(pid, "pmem.cas")
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	checkPid(pid)
 	p.checkAddr(addr)
-	p.statsOf(pid).CASes++
-	cl := p.line(addr)
+	p.stats[pid].cases.Add(1)
+	li := addr.Line()
+	mu := p.shard(li)
+	mu.Lock()
+	defer mu.Unlock()
+	cl := p.line(li)
 	w := addr.word() % LineWords
 	if cl.words[w] != old {
 		return false
 	}
 	cl.words[w] = new
 	cl.dirty = true
-	p.maybeEvict(addr.Line())
+	p.maybeEvict(li)
 	return true
 }
 
@@ -316,21 +379,32 @@ func (p *Pool) CAS(pid int, addr Addr, old, new uint64) bool {
 // Flushing a clean line is a no-op beyond being counted.
 func (p *Pool) Flush(pid int, addr Addr) {
 	p.gate.Step(pid, "pmem.flush")
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	checkPid(pid)
 	p.checkAddr(addr)
-	p.statsOf(pid).Flushes++
+	p.stats[pid].flushes.Add(1)
 	li := addr.Line()
-	cl := p.cache[li]
-	if cl == nil || !cl.dirty {
+	mu := p.shard(li)
+	mu.Lock()
+	cl := &p.cache[li]
+	if !cl.resident || !cl.dirty {
+		mu.Unlock()
 		return
 	}
-	pm := p.pending[pid]
-	if pm == nil {
-		pm = make(map[uint64][LineWords]uint64)
-		p.pending[pid] = pm
+	words := cl.words
+	mu.Unlock()
+
+	pp := &p.pending[pid]
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	// Re-flushing a line replaces its snapshot (linear scan: pending sets
+	// are tiny — a handful of lines between fences).
+	for i := range pp.entries {
+		if pp.entries[i].line == li {
+			pp.entries[i].words = words
+			return
+		}
 	}
-	pm[li] = cl.words
+	pp.entries = append(pp.entries, pendingEntry{line: li, words: words})
 	// The line remains cached and dirty (later stores may re-dirty it
 	// relative to the snapshot); a fence commits the snapshot.
 }
@@ -340,36 +414,41 @@ func (p *Pool) Flush(pid int, addr Addr) {
 // this is counted as a persistent fence (the expensive case); otherwise
 // as a plain fence.
 func (p *Pool) Fence(pid int) {
+	checkPid(pid)
+	pp := &p.pending[pid]
 	// Peek at whether this will be a persistent fence so the gate point
 	// is distinguishable; the final accounting is done under the lock.
-	p.mu.Lock()
-	persistent := len(p.pending[pid]) > 0
-	p.mu.Unlock()
+	pp.mu.Lock()
+	persistent := len(pp.entries) > 0
+	pp.mu.Unlock()
 	if persistent {
 		p.gate.Step(pid, "pmem.pfence")
 	} else {
 		p.gate.Step(pid, "pmem.fence")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := p.statsOf(pid)
-	pm := p.pending[pid]
-	if len(pm) == 0 {
-		s.Fences++
+	s := &p.stats[pid]
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if len(pp.entries) == 0 {
+		s.fences.Add(1)
 		return
 	}
-	s.PersistentFences++
-	for li, words := range pm {
-		base := li * LineWords
-		copy(p.persistent[base:base+LineWords], words[:])
-		s.LinesPersisted++
+	s.pfences.Add(1)
+	for i := range pp.entries {
+		e := &pp.entries[i]
+		base := e.line * LineWords
+		mu := p.shard(e.line)
+		mu.Lock()
+		copy(p.persistent[base:base+LineWords], e.words[:])
 		// If the cached line still equals the committed snapshot it is
 		// now clean; otherwise later stores keep it dirty.
-		if cl := p.cache[li]; cl != nil && cl.words == words {
+		if cl := &p.cache[e.line]; cl.resident && cl.words == e.words {
 			cl.dirty = false
 		}
+		mu.Unlock()
+		s.linesPersisted.Add(1)
 	}
-	delete(p.pending, pid)
+	pp.entries = pp.entries[:0]
 }
 
 // Persist is the common flush-range-then-fence idiom: it flushes every
@@ -387,6 +466,26 @@ func (p *Pool) Persist(pid int, addr Addr, size int) {
 	p.Fence(pid)
 }
 
+// lockAll quiesces the pool: every pending set, then every shard, in
+// rank order (the same pending-before-shard order Fence uses).
+func (p *Pool) lockAll() {
+	for pid := range p.pending {
+		p.pending[pid].mu.Lock()
+	}
+	for i := range p.shards {
+		p.shards[i].Lock()
+	}
+}
+
+func (p *Pool) unlockAll() {
+	for i := range p.shards {
+		p.shards[i].Unlock()
+	}
+	for pid := range p.pending {
+		p.pending[pid].mu.Unlock()
+	}
+}
+
 // Crash simulates a full-system power failure. Every line whose
 // durability was guaranteed (committed by a fence) keeps its committed
 // value. For every other line with volatile state — flushed-but-unfenced
@@ -402,28 +501,34 @@ func (p *Pool) Crash(oracle Oracle) {
 	if oracle == nil {
 		oracle = DropAll
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.crashes++
+	p.lockAll()
+	defer p.unlockAll()
+	p.crashes.Add(1)
 	// Flushed-but-unfenced snapshots: the write-back was in flight.
-	for _, pm := range p.pending {
-		for li, words := range pm {
-			if oracle(li) {
-				base := li * LineWords
-				copy(p.persistent[base:base+LineWords], words[:])
+	for pid := range p.pending {
+		pp := &p.pending[pid]
+		for i := range pp.entries {
+			e := &pp.entries[i]
+			if oracle(e.line) {
+				base := e.line * LineWords
+				copy(p.persistent[base:base+LineWords], e.words[:])
 			}
 		}
+		pp.entries = pp.entries[:0]
 	}
 	// Dirty lines never flushed: an uncontrolled eviction may have
 	// written them back at any point; the oracle models that too.
-	for li, cl := range p.cache {
-		if cl.dirty && oracle(li) {
+	for li := range p.cache {
+		cl := &p.cache[li]
+		if !cl.resident {
+			continue
+		}
+		if cl.dirty && oracle(uint64(li)) {
 			base := li * LineWords
 			copy(p.persistent[base:base+LineWords], cl.words[:])
 		}
+		*cl = cacheLine{}
 	}
-	p.cache = make(map[uint64]*cacheLine)
-	p.pending = make(map[int]map[uint64][LineWords]uint64)
 }
 
 // ErrOutOfMemory is returned by Alloc when the pool is exhausted.
@@ -433,8 +538,8 @@ var ErrOutOfMemory = errors.New("pmem: pool exhausted")
 // returns the base address. Allocation metadata is volatile; persistent
 // structures must be reachable from the root table to survive crashes.
 func (p *Pool) Alloc(size int) (Addr, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	if size <= 0 {
 		return 0, fmt.Errorf("pmem: invalid allocation size %d", size)
 	}
@@ -480,8 +585,6 @@ func (p *Pool) Root(i int) uint64 {
 // lies inside the pool — recovery code validates untrusted pointers
 // read from NVM with it before dereferencing them.
 func (p *Pool) Contains(addr Addr, size int) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if size < 0 || uint64(addr)%WordSize != 0 {
 		return false
 	}
@@ -494,20 +597,22 @@ func (p *Pool) Contains(addr Addr, size int) bool {
 // recovery see if we crashed here with DropAll"); real programs cannot
 // do this.
 func (p *Pool) DurableWord(addr Addr) uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.checkAddr(addr)
+	li := addr.Line()
+	mu := p.shard(li)
+	mu.Lock()
+	defer mu.Unlock()
 	return p.persistent[addr.word()]
 }
 
 // VolatileLines returns the number of cache lines currently dirty (a
 // diagnostic for leak/compaction tests).
 func (p *Pool) VolatileLines() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.lockAll()
+	defer p.unlockAll()
 	n := 0
-	for _, cl := range p.cache {
-		if cl.dirty {
+	for li := range p.cache {
+		if p.cache[li].resident && p.cache[li].dirty {
 			n++
 		}
 	}

@@ -21,12 +21,14 @@ const imageMagic = 0x4f4e4c4c504d454d // "ONLLPMEM"
 // volatile by definition and is not written). Statistics and allocation
 // frontier are included so a restored pool can keep allocating.
 func (p *Pool) WriteImage(w io.Writer) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.lockAll()
+	defer p.unlockAll()
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	bw := bufio.NewWriter(w)
 	h := fnv.New64a()
 	mw := io.MultiWriter(bw, h)
-	hdr := []uint64{imageMagic, uint64(len(p.persistent)), uint64(p.top), p.crashes}
+	hdr := []uint64{imageMagic, uint64(len(p.persistent)), uint64(p.top), p.crashes.Load()}
 	for _, v := range hdr {
 		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
 			return err
@@ -64,7 +66,8 @@ func ReadImage(r io.Reader, gate Gate) (*Pool, error) {
 	if gate != nil {
 		p.SetGate(gate)
 	}
-	p.persistent = make([]uint64, words)
+	// New rounded size up to whole lines; words is already line-aligned,
+	// so the image fills the persistent slice exactly.
 	if err := binary.Read(tr, binary.LittleEndian, p.persistent); err != nil {
 		return nil, fmt.Errorf("pmem: short image body: %w", err)
 	}
@@ -77,7 +80,7 @@ func ReadImage(r io.Reader, gate Gate) (*Pool, error) {
 		return nil, fmt.Errorf("pmem: image checksum mismatch (got %#x want %#x)", sum, want)
 	}
 	p.top = Addr(hdr[2])
-	p.crashes = hdr[3]
+	p.crashes.Store(hdr[3])
 	return p, nil
 }
 

@@ -139,7 +139,14 @@ type Interface interface {
 // n's own operation; ops[k] has execution index n.Idx()-k. By
 // Proposition 5.2 the result has at most MAX_PROCESSES entries.
 func GetFuzzyOps(gate sched.Gate, pid int, n *Node) []spec.Op {
-	var ops []spec.Op
+	return GetFuzzyOpsInto(nil, gate, pid, n)
+}
+
+// GetFuzzyOpsInto is GetFuzzyOps appending into buf[:0], so a caller
+// replaying in a loop can reuse one scratch buffer and stay
+// allocation-free once the buffer has grown to the fuzzy-window bound.
+func GetFuzzyOpsInto(buf []spec.Op, gate sched.Gate, pid int, n *Node) []spec.Op {
+	ops := buf[:0]
 	for cur := n; ; {
 		gate.Step(pid, "trace.scan")
 		if cur.available.Load() {
@@ -396,25 +403,39 @@ func (t *WaitFree) LatestAvailable(pid int) *Node {
 // snapshot (index <= base.Idx(), possible because a compaction cut links
 // a node of index s to a base of the same index s) is dropped.
 func CollectBack(n *Node, downTo uint64) (nodes []*Node, base *Node) {
-	var rev []*Node
+	return CollectBackInto(nil, n, downTo)
+}
+
+// CollectBackInto is CollectBack appending into buf[:0]. The walk fills
+// the buffer newest-first, trims the tail entries already covered by a
+// base's snapshot (they have the smallest indices, so they sit at the
+// end), and reverses in place — one buffer, no second slice, and zero
+// allocations once the caller's scratch buffer has grown to the lag.
+func CollectBackInto(buf []*Node, n *Node, downTo uint64) (nodes []*Node, base *Node) {
+	out := buf[:0]
 	for cur := n; cur != nil && cur.Idx() > downTo; {
 		if cur.Kind == KindBase {
 			base = cur
 			break
 		}
-		rev = append(rev, cur)
+		out = append(out, cur)
 		cur = cur.next.Load()
 	}
-	floor := downTo
-	if base != nil && base.Idx() > floor {
-		floor = base.Idx()
-	}
-	out := make([]*Node, 0, len(rev))
-	for i := len(rev) - 1; i >= 0; i-- {
-		if rev[i].Idx() > floor {
-			out = append(out, rev[i])
+	if base != nil && base.Idx() > downTo {
+		// Indices decrease along the walk: covered nodes (index <=
+		// base.Idx()) form a suffix of out.
+		floor := base.Idx()
+		for len(out) > 0 && out[len(out)-1].Idx() <= floor {
+			out = out[:len(out)-1]
 		}
 	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	// Clear the buffer's unused tail: stale node pointers there would
+	// pin compacted trace prefixes (and their base snapshots) against GC
+	// for as long as the caller keeps the scratch buffer.
+	clear(out[len(out):cap(out)])
 	return out, base
 }
 

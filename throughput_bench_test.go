@@ -1,0 +1,147 @@
+package onll
+
+// BenchmarkThroughput is the parallel throughput suite: it drives one
+// goroutine per simulated process against a single shared instance and
+// reports ops/sec, allocs/op and pfences/op as the process count scales
+// over 1/2/4/8. Unlike the E-series benchmarks (which regenerate the
+// paper's tables), this suite measures the simulator substrate itself:
+// it is the regression guard for the sharded-pool and allocation-free
+// replay work, and `onllbench -json` re-runs the same shape to produce
+// the BENCH_throughput.json trajectory artifact.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/pmem"
+)
+
+// throughputProcs are the scaling points of the suite.
+var throughputProcs = []int{1, 2, 4, 8}
+
+// runThroughput drives nprocs goroutine-backed handles for per ops each
+// (updatePct percent updates, rest reads) and returns total ops done.
+func runThroughput(b *testing.B, in *core.Instance, nprocs, per, updatePct int) int {
+	b.Helper()
+	var wg sync.WaitGroup
+	for pid := 0; pid < nprocs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			h := in.Handle(pid)
+			for i := 0; i < per; i++ {
+				if i%100 < updatePct {
+					if _, _, err := h.Update(objects.CounterInc); err != nil {
+						panic(err)
+					}
+				} else {
+					h.Read(objects.CounterGet)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	return per * nprocs
+}
+
+func benchThroughput(b *testing.B, nprocs, updatePct int) {
+	b.Helper()
+	pool := pmem.New(benchPool, nil)
+	in, err := core.New(pool, objects.CounterSpec{}, core.Config{
+		NProcs: nprocs, LocalViews: true, CompactEvery: 1 << 10, LogCapacity: 1 << 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.ResetStats()
+	per := b.N/nprocs + 1
+	updates := 0
+	for i := 0; i < per; i++ {
+		if i%100 < updatePct {
+			updates++
+		}
+	}
+	updates *= nprocs
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := runThroughput(b, in, nprocs, per, updatePct)
+	b.StopTimer()
+	tot := pool.TotalStats()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "ops/sec")
+	if updates > 0 {
+		b.ReportMetric(float64(tot.PersistentFences)/float64(updates), "pfences/op")
+	}
+}
+
+// BenchmarkThroughput: update-only scaling (the paper's expensive path).
+func BenchmarkThroughput(b *testing.B) {
+	for _, nprocs := range throughputProcs {
+		b.Run(fmt.Sprintf("updates_p%d", nprocs), func(b *testing.B) {
+			benchThroughput(b, nprocs, 100)
+		})
+	}
+	for _, nprocs := range throughputProcs {
+		b.Run(fmt.Sprintf("mixed50_p%d", nprocs), func(b *testing.B) {
+			benchThroughput(b, nprocs, 50)
+		})
+	}
+}
+
+// BenchmarkThroughputPmem measures the raw pool substrate with no
+// construction on top: each simulated process persists its own disjoint
+// cache line in a store/flush/fence loop — the plog append pattern.
+func BenchmarkThroughputPmem(b *testing.B) {
+	for _, nprocs := range throughputProcs {
+		b.Run(fmt.Sprintf("persist_p%d", nprocs), func(b *testing.B) {
+			pool := pmem.New(1<<22, nil)
+			addrs := make([]pmem.Addr, nprocs)
+			for pid := range addrs {
+				addrs[pid] = pool.MustAlloc(pmem.LineSize)
+			}
+			per := b.N/nprocs + 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for pid := 0; pid < nprocs; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					a := addrs[pid]
+					for i := 0; i < per; i++ {
+						pool.Store(pid, a, uint64(i))
+						pool.Persist(pid, a, pmem.WordSize)
+					}
+				}(pid)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(per*nprocs)/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
+}
+
+// BenchmarkReadSteadyState pins the allocation-free claim for reads: a
+// counter with local views, fully caught up, must read at 0 allocs/op.
+func BenchmarkReadSteadyState(b *testing.B) {
+	pool := pmem.New(benchPool, nil)
+	in, err := core.New(pool, objects.CounterSpec{}, core.Config{NProcs: 1, LocalViews: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := in.Handle(0)
+	for i := 0; i < 1000; i++ {
+		if _, _, err := h.Update(objects.CounterInc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := h.Read(objects.CounterGet); got != 1000 {
+			b.Fatalf("read %d", got)
+		}
+	}
+}
