@@ -27,6 +27,7 @@ import (
 	"repro/internal/figure1"
 	"repro/internal/lowerbound"
 	"repro/internal/objects"
+	"repro/internal/plog"
 	"repro/internal/pmem"
 	"repro/internal/sched"
 	"repro/internal/spec"
@@ -48,6 +49,17 @@ var (
 const jsonPath = "BENCH_throughput.json"
 
 const poolSize = 1 << 27
+
+// poolFor sizes a pool for nprocs per-process logs of logCap slots:
+// slot width scales with the fuzzy-window bound (= nprocs), so wide
+// `-procs` sweeps outgrow the fixed default.
+func poolFor(nprocs, logCap int) int {
+	need := nprocs*plog.RegionBytes(logCap, nprocs)*2 + (1 << 22)
+	if need < poolSize {
+		return poolSize
+	}
+	return need
+}
 
 func main() {
 	flag.Parse()
@@ -152,7 +164,7 @@ func e1() error {
 	for _, sp := range objects.All() {
 		for _, nprocs := range []int{1, *procsFlag} {
 			for _, wf := range []bool{false, true} {
-				pool := pmem.New(poolSize, nil)
+				pool := pmem.New(poolFor(nprocs, *opsFlag*2+64), nil)
 				in, err := core.New(pool, sp, core.Config{NProcs: nprocs, WaitFree: wf, LogCapacity: *opsFlag*2 + 64})
 				if err != nil {
 					return err
@@ -226,7 +238,7 @@ func e3() error {
 func e4() error {
 	header("E4 (Prop 5.2 / Fig 2): fuzzy window bounded by MAX_PROCESSES")
 	nprocs := *procsFlag
-	pool := pmem.New(poolSize, nil)
+	pool := pmem.New(poolFor(nprocs, *opsFlag*2+64), nil)
 	in, err := core.New(pool, objects.CounterSpec{}, core.Config{NProcs: nprocs, LogCapacity: *opsFlag*2 + 64})
 	if err != nil {
 		return err
@@ -345,7 +357,7 @@ func e6() error {
 			}},
 		}
 		for _, im := range impls {
-			pool := pmem.New(poolSize, nil)
+			pool := pmem.New(poolFor(nprocs, *opsFlag*2+64), nil)
 			obj, err := im.make(pool)
 			if err != nil {
 				return err
@@ -598,7 +610,7 @@ func e12() error {
 	sp := objects.CounterSpec{}
 	for _, wf := range []bool{false, true} {
 		nprocs := *procsFlag
-		pool := pmem.New(poolSize, nil)
+		pool := pmem.New(poolFor(nprocs, *opsFlag*2+64), nil)
 		in, err := core.New(pool, sp, core.Config{NProcs: nprocs, WaitFree: wf, LogCapacity: *opsFlag*2 + 64})
 		if err != nil {
 			return err
@@ -635,6 +647,26 @@ type throughputPoint struct {
 	PFencesPerUpd float64 `json:"pfences_per_update"`
 }
 
+// throughputPR1 records the suite's numbers for the PR 1 code (sharded
+// pool, before the PR 2 dense-object/line-batched-log/node-pooling
+// work), RE-MEASURED immediately before the PR 2 changes on the same
+// box and in the same session that produced PR 2's Current numbers —
+// an apples-to-apples before/after. The PR 1 session itself recorded
+// higher absolute numbers for the same code (updates@8 = 1,700,511
+// ops/sec; box-to-box and day-to-day noise on shared CI-class hosts is
+// that large), which is why trajectory comparisons are only made
+// between same-session measurements.
+var throughputPR1 = []throughputPoint{
+	{Workload: "updates", Procs: 1, OpsPerSec: 1597376, NsPerOp: 626, PFencesPerUpd: 1.002},
+	{Workload: "updates", Procs: 2, OpsPerSec: 1654303, NsPerOp: 604, PFencesPerUpd: 1.002},
+	{Workload: "updates", Procs: 4, OpsPerSec: 1689578, NsPerOp: 592, PFencesPerUpd: 1.002},
+	{Workload: "updates", Procs: 8, OpsPerSec: 1563342, NsPerOp: 640, PFencesPerUpd: 1.002},
+	{Workload: "mixed50", Procs: 1, OpsPerSec: 3750244, NsPerOp: 267, PFencesPerUpd: 1.002},
+	{Workload: "mixed50", Procs: 2, OpsPerSec: 3520617, NsPerOp: 284, PFencesPerUpd: 1.002},
+	{Workload: "mixed50", Procs: 4, OpsPerSec: 3254741, NsPerOp: 307, PFencesPerUpd: 1.002},
+	{Workload: "mixed50", Procs: 8, OpsPerSec: 3221648, NsPerOp: 310, PFencesPerUpd: 1.002},
+}
+
 // throughputBaseline records the suite's numbers measured against the
 // seed's global-mutex pool (map-backed cache, map-backed pending and
 // stats) on this suite's exact workload, immediately before the
@@ -651,13 +683,27 @@ var throughputBaseline = []throughputPoint{
 	{Workload: "mixed50", Procs: 8, OpsPerSec: 1350483, NsPerOp: 740.5},
 }
 
+// etConfig sizes an instance for nprocs simulated processes, sharing
+// the sizing policy with BenchmarkThroughput* (workload.Throughput*) so
+// both harnesses measure identical configurations.
+func etConfig(nprocs int) core.Config {
+	return core.Config{
+		NProcs:       nprocs,
+		LocalViews:   true,
+		CompactEvery: workload.ThroughputCompactEvery(nprocs),
+		LogCapacity:  workload.ThroughputLogCapacity(nprocs),
+	}
+}
+
+func etPoolSize(nprocs int) int {
+	return workload.ThroughputPoolBytes(nprocs)
+}
+
 // measureThroughput drives nprocs goroutine-backed handles, updatePct
 // percent updates, and returns the measured point.
 func measureThroughput(nprocs, updatePct, totalOps int) (throughputPoint, error) {
-	pool := pmem.New(1<<26, nil)
-	in, err := core.New(pool, objects.CounterSpec{}, core.Config{
-		NProcs: nprocs, LocalViews: true, CompactEvery: 1 << 10, LogCapacity: 1 << 12,
-	})
+	pool := pmem.New(etPoolSize(nprocs), nil)
+	in, err := core.New(pool, objects.CounterSpec{}, etConfig(nprocs))
 	if err != nil {
 		return throughputPoint{}, err
 	}
@@ -718,12 +764,59 @@ func measureThroughput(nprocs, updatePct, totalOps int) (throughputPoint, error)
 	return pt, nil
 }
 
-// et: simulator-substrate throughput scaling over 1/2/4/8 processes.
+// measureYCSB drives the YCSB-A keyed mix (50/50 zipfian get/put) over
+// the ordered map with nprocs handles and returns the measured point.
+func measureYCSB(nprocs, totalOps int) (throughputPoint, error) {
+	pool := pmem.New(etPoolSize(nprocs), nil)
+	in, err := core.New(pool, objects.OrderedMapSpec{}, etConfig(nprocs))
+	if err != nil {
+		return throughputPoint{}, err
+	}
+	y := workload.NewYCSB(workload.YCSBA)
+	per := totalOps / nprocs
+	streams, updates := y.Streams(nprocs, per)
+	// Warm-up pass so the measured pass is steady state.
+	for pid := 0; pid < nprocs; pid++ {
+		if err := workload.RunSteps(in.Handle(pid), streams[pid][:min(200, len(streams[pid]))]); err != nil {
+			return throughputPoint{}, err
+		}
+	}
+	pool.ResetStats()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < nprocs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			if err := workload.RunSteps(in.Handle(pid), streams[pid]); err != nil {
+				panic(err)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	total := per * nprocs
+	pt := throughputPoint{
+		Workload:  "ycsb-a",
+		Procs:     nprocs,
+		OpsPerSec: float64(total) / el.Seconds(),
+		NsPerOp:   float64(el.Nanoseconds()) / float64(total),
+	}
+	if updates > 0 {
+		pt.PFencesPerUpd = float64(pool.TotalStats().PersistentFences) / float64(updates)
+	}
+	return pt, nil
+}
+
+// etProcs is the process sweep: up to the full pid space (MaxPids = 64).
+var etProcs = []int{1, 2, 4, 8, 16, 32, 64}
+
+// et: simulator-substrate throughput scaling over 1..64 processes.
 func et() error {
-	header("ET: parallel throughput suite (sharded pool vs recorded global-mutex baseline)")
-	row("workload/procs", "ops/sec", "ns/op", "pf/update", "vs baseline")
-	baseline := func(wl string, procs int) float64 {
-		for _, b := range throughputBaseline {
+	header("ET: parallel throughput suite (dense objects + line-batched log vs recorded baselines)")
+	row("workload/procs", "ops/sec", "ns/op", "pf/update", "vs pr1")
+	prev := func(wl string, procs int) float64 {
+		for _, b := range throughputPR1 {
 			if b.Workload == wl && b.Procs == procs {
 				return b.OpsPerSec
 			}
@@ -733,14 +826,14 @@ func et() error {
 	const totalOps = 200_000
 	var current []throughputPoint
 	for _, updatePct := range []int{100, 50} {
-		for _, nprocs := range []int{1, 2, 4, 8} {
+		for _, nprocs := range etProcs {
 			pt, err := measureThroughput(nprocs, updatePct, totalOps)
 			if err != nil {
 				return err
 			}
 			current = append(current, pt)
 			speedup := "n/a"
-			if b := baseline(pt.Workload, pt.Procs); b > 0 {
+			if b := prev(pt.Workload, pt.Procs); b > 0 {
 				speedup = fmt.Sprintf("%.2fx", pt.OpsPerSec/b)
 			}
 			row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
@@ -749,21 +842,40 @@ func et() error {
 				fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
 		}
 	}
+	for _, nprocs := range etProcs {
+		pt, err := measureYCSB(nprocs, totalOps)
+		if err != nil {
+			return err
+		}
+		current = append(current, pt)
+		row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
+			fmt.Sprintf("%.0f", pt.OpsPerSec),
+			fmt.Sprintf("%.0f", pt.NsPerOp),
+			fmt.Sprintf("%.3f", pt.PFencesPerUpd), "n/a")
+	}
 	if *jsonFlag {
 		artifact := struct {
 			Schema        string            `json:"schema"`
 			GeneratedUnix int64             `json:"generated_unix"`
 			GoMaxProcs    int               `json:"go_max_procs"`
 			BaselineNote  string            `json:"baseline_note"`
+			PR1Note       string            `json:"pr1_note"`
 			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
-			Current       []throughputPoint `json:"current_sharded_pool"`
+			PR1           []throughputPoint `json:"pr1_sharded_pool"`
+			Current       []throughputPoint `json:"current_dense_objects"`
 		}{
-			Schema:        "bench_throughput/v1",
+			Schema:        "bench_throughput/v2",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			BaselineNote: "baseline measured on the seed's single-mutex map-backed pool " +
 				"with the identical workload, before the lock-striped rewrite",
+			PR1Note: "pr1 code (sharded pool, before dense object states, line-batched " +
+				"log writes and trace-node pooling) re-measured in the same session " +
+				"as Current for an apples-to-apples delta; the PR 1 session itself " +
+				"recorded updates@8 = 1,700,511 ops/sec for the same code (host " +
+				"noise). ycsb-a and the 16/32/64-process points did not exist yet",
 			Baseline: throughputBaseline,
+			PR1:      throughputPR1,
 			Current:  current,
 		}
 		data, err := json.MarshalIndent(artifact, "", "  ")

@@ -65,8 +65,10 @@ const (
 )
 
 // MaxProcs bounds the number of simulated processes per instance
-// (MAX_PROCESSES in the paper).
-const MaxProcs = 40
+// (MAX_PROCESSES in the paper). It matches sched.MaxPids so throughput
+// experiments can drive the full pid space; the root table reserves one
+// log-pointer slot per possible pid.
+const MaxProcs = sched.MaxPids
 
 // Config parameterizes New and Recover.
 type Config struct {
@@ -166,6 +168,7 @@ func (in *Instance) makeHandles(seqs map[int]uint64) {
 	in.hands = make([]*Handle, in.cfg.NProcs)
 	for pid := 0; pid < in.cfg.NProcs; pid++ {
 		h := &Handle{in: in, pid: pid}
+		h.floor.Store(^uint64(0)) // idle: blocks no reclamation
 		if seqs != nil {
 			h.seq = seqs[pid]
 		}
@@ -232,9 +235,30 @@ type Handle struct {
 	fuzzyBuf []spec.Op
 	nodeBuf  []*trace.Node
 
+	// Trace-node pooling (the last alloc/op on the update path). floor
+	// publishes, for the handle's in-flight operation, a lower bound on
+	// the execution indices it may dereference: every walk this handle
+	// performs touches only nodes with index >= floor - NProcs (its own
+	// CollectBack walks stop at viewIdx >= floor; fuzzy/latest-available
+	// walks start at or above the tail, whose index is >= floor, and by
+	// Proposition 5.2 descend at most NProcs nodes). Idle handles publish
+	// MaxUint64. A retired node is promoted to the free list only once
+	// idx + NProcs < min over all published floors, so no in-flight walk
+	// can still reach it; nodes retired later stay in retired until a
+	// future compaction re-checks. freeNodes/retired are handle-private.
+	floor     atomic.Uint64
+	claiming  atomic.Bool // set while reclaim's claim walk holds chain pointers
+	freeNodes []*trace.Node
+	retired   []*trace.Node
+
 	sinceCompact int
 	busy         atomic.Bool // guards against misuse (two ops at once)
 }
+
+// maxFreeNodes caps a handle's freelist; beyond it, retired nodes are
+// dropped to the garbage collector (pooling is an optimization, not a
+// leak trade).
+const maxFreeNodes = 1 << 12
 
 // PID returns the handle's process id.
 func (h *Handle) PID() int { return h.pid }
@@ -250,8 +274,15 @@ func (h *Handle) enter() {
 	if !h.busy.CompareAndSwap(false, true) {
 		panic(errBusy)
 	}
+	// Publish the walk floor BEFORE any trace read (sequentially
+	// consistent store): reclamation reads it to prove quiescence.
+	h.floor.Store(h.viewIdx)
 }
-func (h *Handle) exit() { h.busy.Store(false) }
+
+func (h *Handle) exit() {
+	h.floor.Store(^uint64(0))
+	h.busy.Store(false)
+}
 
 // Update executes the update operation (code, args) through the
 // order/persist/linearize pipeline (paper Listing 3). It returns the
@@ -270,7 +301,7 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	// Order: fix the linearization order by appending to the trace.
 	// The CAS inside is a concurrency fence but no NVM write-back is
 	// pending, so it is not a persistent fence (paper footnote 2).
-	node := trace.NewNode(op)
+	node := h.newNode(op)
 	in.tr.Insert(h.pid, node)
 	in.gate.Step(h.pid, PointOrdered)
 
@@ -404,6 +435,113 @@ func (h *Handle) advanceView(node *trace.Node) uint64 {
 	return ret
 }
 
+// newNode returns a trace node for op, reusing a pooled node when the
+// freelist has one: steady-state updates under compaction allocate
+// nothing.
+func (h *Handle) newNode(op spec.Op) *trace.Node {
+	if n := len(h.freeNodes); n > 0 {
+		nd := h.freeNodes[n-1]
+		h.freeNodes[n-1] = nil
+		h.freeNodes = h.freeNodes[:n-1]
+		nd.Reinit(op)
+		return nd
+	}
+	return trace.NewNode(op)
+}
+
+// reclaim feeds the node pool after a compaction cut: old is the head of
+// the trace segment the cut just made unreachable (the cut node's
+// predecessor chain). The walk claims each update node with a CAS and
+// stops at the first claim failure or non-update node, so two cuts
+// racing over a not-yet-severed boundary partition the dead nodes
+// cleanly — every earlier cut severed its own chain with a base node,
+// which also terminates the walk.
+//
+// Claimed nodes wait in retired until provably quiescent, on two
+// conditions checked at promotion time:
+//
+//  1. Floors. A node at index i is promoted only when i + NProcs < the
+//     minimum published walk floor across handles (see the floor
+//     field): mid-op handles block promotion of anything an ordinary
+//     trace walk of theirs could still dereference.
+//  2. Claim guards. Claim walks themselves can descend far below the
+//     walker's own floor (a cutter that read a neighbour's cut-node
+//     next pointer just before that neighbour's SetNextBase landed
+//     walks into the neighbour's segment). Such a walker holds chain
+//     pointers the floors do not cover, so each handle publishes a
+//     claiming flag for the duration of its walk and promotion is
+//     skipped entirely while any flag is up. A racing walker either
+//     finished before the promotion check (its claim CAS already
+//     failed against the claimed flag) or its guard is visible and
+//     blocks the promotion — with sequentially consistent atomics
+//     there is no third interleaving.
+//
+// Promotion being skipped is only a deferral: the nodes stay in
+// retired and are re-examined at the next compaction (bounded by
+// maxFreeNodes; beyond it they fall to the GC — pooling is an
+// optimization, never a leak).
+func (h *Handle) reclaim(old *trace.Node) {
+	h.claiming.Store(true)
+	for cur := old; cur != nil; {
+		if !cur.TryClaim() {
+			break // another cutter owns the rest of this segment
+		}
+		if cur.Kind != trace.KindUpdate {
+			break // base or sentinel: never pooled
+		}
+		h.retired = append(h.retired, cur)
+		cur = cur.Next()
+	}
+	h.claiming.Store(false)
+
+	minFloor := ^uint64(0)
+	for _, other := range h.in.hands {
+		if other != h && other.claiming.Load() {
+			h.capRetired()
+			return // an in-flight claim walk may hold uncovered pointers
+		}
+		if f := other.floor.Load(); f < minFloor {
+			minFloor = f
+		}
+	}
+	slack := uint64(h.in.cfg.NProcs)
+	var limit uint64
+	if minFloor > slack {
+		limit = minFloor - slack
+	}
+	kept := h.retired[:0]
+	for _, n := range h.retired {
+		switch {
+		case n.Idx() >= limit:
+			kept = append(kept, n) // possibly still walkable: retry later
+		case len(h.freeNodes) < maxFreeNodes:
+			h.freeNodes = append(h.freeNodes, n)
+		}
+		// else: freelist full, drop to GC.
+	}
+	for i := len(kept); i < len(h.retired); i++ {
+		h.retired[i] = nil
+	}
+	h.retired = kept
+	h.capRetired()
+}
+
+// capRetired bounds the deferred-promotion backlog: claimed nodes past
+// the cap are dropped to the garbage collector (they were claimed, so
+// no other handle will ever pool them — they are simply garbage).
+func (h *Handle) capRetired() {
+	if len(h.retired) <= maxFreeNodes {
+		return
+	}
+	drop := len(h.retired) - maxFreeNodes
+	kept := h.retired[:0]
+	kept = append(kept, h.retired[drop:]...)
+	for i := len(kept); i < len(h.retired); i++ {
+		h.retired[i] = nil
+	}
+	h.retired = kept
+}
+
 // mergeSeqs raises dst entries to at least src's.
 func mergeSeqs(dst, src []uint64) {
 	for i := range dst {
@@ -458,8 +596,10 @@ func (h *Handle) compact(node *trace.Node) error {
 			return err
 		}
 	}
+	old := node.Next()
 	base := trace.NewBase(s, snap, seqs)
 	node.SetNextBase(base)
+	h.reclaim(old)
 	return nil
 }
 

@@ -465,7 +465,7 @@ const (
 type SetSpec struct{}
 
 func (SetSpec) Name() string    { return "set" }
-func (SetSpec) New() spec.State { return &setState{m: map[uint64]struct{}{}} }
+func (SetSpec) New() spec.State { return &setState{t: newDenseTable(false, 0)} }
 func (SetSpec) Ops() []OpInfo {
 	return []OpInfo{
 		{SetAdd, "add", KindUpdate, 1},
@@ -475,22 +475,24 @@ func (SetSpec) Ops() []OpInfo {
 	}
 }
 
-type setState struct{ m map[uint64]struct{} }
+// setState is backed by an open-addressed dense table so steady-state
+// Apply (add of a present key, remove, contains) never allocates; only
+// amortized growth does. The snapshot wire format (tag, count, sorted
+// keys) is unchanged from the map-backed representation.
+type setState struct{ t *denseTable }
 
 func (s *setState) Apply(op spec.Op) uint64 {
 	k := op.Args[0]
 	switch op.Code {
 	case SetAdd:
-		if _, ok := s.m[k]; ok {
+		if _, existed := s.t.put(k, 0); existed {
 			return spec.RetFail
 		}
-		s.m[k] = struct{}{}
 		return spec.RetOK
 	case SetRemove:
-		if _, ok := s.m[k]; !ok {
+		if _, existed := s.t.del(k); !existed {
 			return spec.RetFail
 		}
-		delete(s.m, k)
 		return spec.RetOK
 	}
 	panic(fmt.Sprintf("set: bad update opcode %d", op.Code))
@@ -499,37 +501,31 @@ func (s *setState) Apply(op spec.Op) uint64 {
 func (s *setState) Read(op spec.Op) uint64 {
 	switch op.Code {
 	case SetContains:
-		if _, ok := s.m[op.Args[0]]; ok {
+		if s.t.has(op.Args[0]) {
 			return 1
 		}
 		return 0
 	case SetLen:
-		return uint64(len(s.m))
+		return uint64(s.t.live)
 	}
 	panic(fmt.Sprintf("set: bad read opcode %d", op.Code))
 }
 
-func (s *setState) Clone() spec.State {
-	c := &setState{m: make(map[uint64]struct{}, len(s.m))}
-	for k := range s.m {
-		c.m[k] = struct{}{}
-	}
-	return c
-}
+func (s *setState) Clone() spec.State { return &setState{t: s.t.clone()} }
 
 func (s *setState) Snapshot() []uint64 {
-	out := make([]uint64, 0, len(s.m)+2)
-	out = append(out, tagSet, uint64(len(s.m)))
-	return append(out, sortedKeys(s.m)...)
+	out := make([]uint64, 0, s.t.live+2)
+	out = append(out, tagSet, uint64(s.t.live))
+	return s.t.appendSnapshot(out)
 }
 
 func (s *setState) Restore(w []uint64) error {
 	if len(w) < 2 || w[0] != tagSet || uint64(len(w)-2) != w[1] {
 		return snapshotHeaderMismatch("set", tagSet, first(w))
 	}
-	s.m = make(map[uint64]struct{}, len(w)-2)
+	s.t.reset(false, len(w)-2)
 	for _, k := range w[2:] {
-		s.m[k] = struct{}{}
+		s.t.put(k, 0)
 	}
 	return nil
 }
@@ -551,7 +547,7 @@ const (
 type MapSpec struct{}
 
 func (MapSpec) Name() string    { return "map" }
-func (MapSpec) New() spec.State { return &mapState{m: map[uint64]uint64{}} }
+func (MapSpec) New() spec.State { return &mapState{t: newDenseTable(true, 0)} }
 func (MapSpec) Ops() []OpInfo {
 	return []OpInfo{
 		{MapPut, "put", KindUpdate, 2},
@@ -562,30 +558,33 @@ func (MapSpec) Ops() []OpInfo {
 	}
 }
 
-type mapState struct{ m map[uint64]uint64 }
+// mapState is backed by an open-addressed dense table (see dense.go):
+// gets, overwrites, deletes and CASes allocate nothing, inserts only on
+// amortized growth. Snapshot format (tag, count, sorted pairs) matches
+// the previous map-backed representation word for word.
+type mapState struct{ t *denseTable }
 
 func (s *mapState) Apply(op spec.Op) uint64 {
 	k := op.Args[0]
 	switch op.Code {
 	case MapPut:
-		old, ok := s.m[k]
-		s.m[k] = op.Args[1]
-		if !ok {
+		old, existed := s.t.put(k, op.Args[1])
+		if !existed {
 			return spec.RetMissing
 		}
 		return old
 	case MapDel:
-		old, ok := s.m[k]
-		if !ok {
+		old, existed := s.t.del(k)
+		if !existed {
 			return spec.RetMissing
 		}
-		delete(s.m, k)
 		return old
 	case MapCAS:
-		if s.m[k] != op.Args[1] {
+		cur, _ := s.t.get(k) // absent key reads as 0, as with a Go map
+		if cur != op.Args[1] {
 			return spec.RetFail
 		}
-		s.m[k] = op.Args[2]
+		s.t.put(k, op.Args[2])
 		return spec.RetOK
 	}
 	panic(fmt.Sprintf("map: bad update opcode %d", op.Code))
@@ -594,41 +593,36 @@ func (s *mapState) Apply(op spec.Op) uint64 {
 func (s *mapState) Read(op spec.Op) uint64 {
 	switch op.Code {
 	case MapGet:
-		v, ok := s.m[op.Args[0]]
+		v, ok := s.t.get(op.Args[0])
 		if !ok {
 			return spec.RetMissing
 		}
 		return v
 	case MapLen:
-		return uint64(len(s.m))
+		return uint64(s.t.live)
 	}
 	panic(fmt.Sprintf("map: bad read opcode %d", op.Code))
 }
 
-func (s *mapState) Clone() spec.State {
-	c := &mapState{m: make(map[uint64]uint64, len(s.m))}
-	for k, v := range s.m {
-		c.m[k] = v
-	}
-	return c
-}
+func (s *mapState) Clone() spec.State { return &mapState{t: s.t.clone()} }
 
 func (s *mapState) Snapshot() []uint64 {
-	out := make([]uint64, 0, 2*len(s.m)+2)
-	out = append(out, tagMap, uint64(len(s.m)))
-	for _, k := range sortedKeys(s.m) {
-		out = append(out, k, s.m[k])
-	}
-	return out
+	out := make([]uint64, 0, 2*s.t.live+2)
+	out = append(out, tagMap, uint64(s.t.live))
+	return s.t.appendSnapshot(out)
 }
 
 func (s *mapState) Restore(w []uint64) error {
-	if len(w) < 2 || w[0] != tagMap || uint64(len(w)-2) != 2*w[1] {
+	// The claimed pair count is validated against the actual word count
+	// without the 2*w[1] multiplication, which overflowed for counts near
+	// 2^63 and accepted corrupt headers (then panicked building the
+	// state).
+	if len(w) < 2 || w[0] != tagMap || w[1] != uint64(len(w)-2)/2 || (len(w)-2)%2 != 0 {
 		return snapshotHeaderMismatch("map", tagMap, first(w))
 	}
-	s.m = make(map[uint64]uint64, w[1])
+	s.t.reset(true, int(w[1]))
 	for i := 2; i < len(w); i += 2 {
-		s.m[w[i]] = w[i+1]
+		s.t.put(w[i], w[i+1])
 	}
 	return nil
 }
@@ -732,21 +726,24 @@ func (s *pqState) Clone() spec.State {
 // Snapshot stores the elements in sorted order so that two heaps with
 // the same contents (but different internal shapes reached via different
 // op orders... which cannot happen for a deterministic object, but
-// sorting is cheap insurance) serialize identically.
+// sorting is cheap insurance) serialize identically. The sort happens
+// directly in the output slice — one allocation, no scratch copy.
 func (s *pqState) Snapshot() []uint64 {
-	xs := append([]uint64(nil), s.h...)
+	out := make([]uint64, 0, len(s.h)+2)
+	out = append(out, tagPQ, uint64(len(s.h)))
+	out = append(out, s.h...)
+	xs := out[2:]
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-	out := make([]uint64, 0, len(xs)+2)
-	out = append(out, tagPQ, uint64(len(xs)))
-	return append(out, xs...)
+	return out
 }
 
 func (s *pqState) Restore(w []uint64) error {
 	if len(w) < 2 || w[0] != tagPQ || uint64(len(w)-2) != w[1] {
 		return snapshotHeaderMismatch("pqueue", tagPQ, first(w))
 	}
-	// A sorted slice is already a valid min-heap.
-	s.h = append([]uint64(nil), w[2:]...)
+	// A sorted slice is already a valid min-heap. The preallocated
+	// backing array is reused when it is large enough.
+	s.h = append(s.h[:0], w[2:]...)
 	return nil
 }
 
@@ -914,7 +911,9 @@ func (s *bankState) Snapshot() []uint64 {
 }
 
 func (s *bankState) Restore(w []uint64) error {
-	if len(w) < 2 || w[0] != tagBank || uint64(len(w)-2) != 2*w[1] {
+	// Pair count validated without the overflowing 2*w[1] product (see
+	// mapState.Restore).
+	if len(w) < 2 || w[0] != tagBank || w[1] != uint64(len(w)-2)/2 || (len(w)-2)%2 != 0 {
 		return snapshotHeaderMismatch("bank", tagBank, first(w))
 	}
 	s.m = make(map[uint64]uint64, w[1])

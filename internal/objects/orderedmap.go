@@ -157,20 +157,25 @@ func (s *omapState) Snapshot() []uint64 {
 }
 
 func (s *omapState) Restore(w []uint64) error {
-	if len(w) < 2 || w[0] != tagOMap || uint64(len(w)-2) != 2*w[1] {
+	// Pair count validated without the overflowing 2*w[1] product: a
+	// header claiming 2^63+1 pairs used to slip past `len(w)-2 == 2*w[1]`
+	// and panic in make. The checks below also run BEFORE any mutation,
+	// so a failed Restore leaves the previous state intact instead of
+	// half-overwritten.
+	if len(w) < 2 || w[0] != tagOMap || w[1] != uint64(len(w)-2)/2 || (len(w)-2)%2 != 0 {
 		return snapshotHeaderMismatch("orderedmap", tagOMap, first(w))
 	}
 	n := int(w[1])
+	for i := 1; i < n; i++ {
+		if w[2*i] >= w[2+2*i] {
+			return fmt.Errorf("objects: orderedmap snapshot keys not strictly sorted at %d", i)
+		}
+	}
 	s.keys = make([]uint64, n)
 	s.vals = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		s.keys[i] = w[2+2*i]
 		s.vals[i] = w[3+2*i]
-	}
-	for i := 1; i < n; i++ {
-		if s.keys[i-1] >= s.keys[i] {
-			return fmt.Errorf("objects: orderedmap snapshot keys not strictly sorted at %d", i)
-		}
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+package objects
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestRestoreAdversarialHeaders feeds every object deliberately corrupt
+// snapshot words — the kind a torn NVM region could present — and
+// requires a clean error, never a panic. The overflow case is the
+// regression for the pair-count check `uint64(len(w)-2) != 2*w[1]`,
+// which accepted w[1] = 2^63+1 when len(w)-2 == 2 (the product wraps to
+// 2) and then panicked converting the count to a negative int.
+func TestRestoreAdversarialHeaders(t *testing.T) {
+	// Per-spec snapshot tags, to build headers with plausible tags but
+	// poisoned counts.
+	tags := map[string]uint64{
+		"counter": tagCounter, "register": tagRegister, "stack": tagStack,
+		"queue": tagQueue, "deque": tagDeque, "set": tagSet, "map": tagMap,
+		"pqueue": tagPQ, "applog": tagLog, "bank": tagBank, "orderedmap": tagOMap,
+	}
+	const overflowCount = 1<<63 + 1 // 2*count wraps to 2
+	for _, sp := range All() {
+		tag, ok := tags[sp.Name()]
+		if !ok {
+			t.Fatalf("%s: no tag registered in test", sp.Name())
+		}
+		cases := map[string][]uint64{
+			"empty":          {},
+			"tag only":       {tag},
+			"wrong tag":      {tag + 1, 0},
+			"overflow count": {tag, overflowCount, 7, 9},
+			"huge count":     {tag, 1 << 62, 7, 9},
+			"short payload":  {tag, 1000, 1},
+		}
+		for name, words := range cases {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s/%s: Restore panicked: %v", sp.Name(), name, r)
+					}
+				}()
+				st := sp.New()
+				if err := st.Restore(words); err == nil {
+					t.Errorf("%s/%s: corrupt snapshot %v accepted", sp.Name(), name, words)
+				}
+			}()
+		}
+	}
+}
+
+// TestRestoreRoundTrip pins that the fixed validation still accepts
+// every legitimate snapshot: build a state, snapshot, restore into a
+// fresh state, compare.
+func TestRestoreRoundTrip(t *testing.T) {
+	for _, sp := range All() {
+		st := sp.New()
+		d := sp.(Describer)
+		// Drive a few updates with small args to populate the state.
+		i := uint64(1)
+		for _, oi := range d.Ops() {
+			if oi.Kind != KindUpdate {
+				continue
+			}
+			for k := 0; k < 5; k++ {
+				st.Apply(spec.Op{Code: oi.Code, Args: [3]uint64{i, i + 1, i + 2}})
+				i++
+			}
+		}
+		snap := st.Snapshot()
+		fresh := sp.New()
+		if err := fresh.Restore(snap); err != nil {
+			t.Fatalf("%s: restoring own snapshot: %v", sp.Name(), err)
+		}
+		if !spec.Equal(st, fresh) {
+			t.Fatalf("%s: snapshot round trip diverged", sp.Name())
+		}
+	}
+}
+
+// TestOMapFailedRestoreLeavesStateIntact is the regression for
+// omapState.Restore mutating keys/vals before running the strictly-
+// sorted validation: a rejected snapshot must leave the previous state
+// untouched, not half-overwritten.
+func TestOMapFailedRestoreLeavesStateIntact(t *testing.T) {
+	st := OrderedMapSpec{}.New()
+	st.Apply(spec.Op{Code: OMapPut, Args: [3]uint64{10, 100}})
+	st.Apply(spec.Op{Code: OMapPut, Args: [3]uint64{20, 200}})
+	before := append([]uint64(nil), st.Snapshot()...)
+
+	// Valid header, keys not strictly sorted: must be rejected.
+	bad := []uint64{tagOMap, 2, 5, 50, 5, 51}
+	if err := st.Restore(bad); err == nil {
+		t.Fatal("unsorted snapshot accepted")
+	}
+	after := st.Snapshot()
+	if len(after) != len(before) {
+		t.Fatalf("state changed by failed restore: %v -> %v", before, after)
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("state changed by failed restore: %v -> %v", before, after)
+		}
+	}
+	// The surviving state must still answer reads correctly.
+	if got := st.Read(spec.Op{Code: OMapGet, Args: [3]uint64{20}}); got != 200 {
+		t.Fatalf("read after failed restore: got %d want 200", got)
+	}
+}

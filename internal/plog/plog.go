@@ -131,9 +131,7 @@ func Create(pool *pmem.Pool, pid, capacity, maxOps int) (*Log, error) {
 		nextSeq: 1, headSeq: 0,
 	}
 	hdr := []uint64{logMagic, uint64(capacity), uint64(l.slotW), uint64(maxOps), 0}
-	for i, v := range hdr {
-		pool.Store(pid, base+pmem.Addr(i*pmem.WordSize), v)
-	}
+	pool.StoreRange(pid, base, hdr)
 	pool.Persist(pid, base, hdrWords*pmem.WordSize)
 	return l, nil
 }
@@ -145,13 +143,31 @@ func slotWordsAligned(maxOps int) int {
 	return (w + pmem.LineWords - 1) / pmem.LineWords * pmem.LineWords
 }
 
+// Plausibility bounds on header geometry read from (possibly corrupt)
+// NVM, checked before any arithmetic that could overflow or any slot
+// address is dereferenced.
+const (
+	maxPlausibleCapacity = 1 << 31
+	maxPlausibleOps      = 1 << 16
+)
+
 // Open attaches to an existing log region (after a crash). It scans the
 // slots, validates records, and positions nextSeq after the last valid
 // record. The owning pid of the reopened log may differ from the
 // pre-crash one (crashed processes are replaced by new ones).
+//
+// Everything Open reads — the base pointer handed in (typically from a
+// root slot) and the header geometry — is untrusted: a corrupted image
+// must produce ErrCorrupt, never an out-of-bounds panic.
 func Open(pool *pmem.Pool, pid int, base pmem.Addr) (*Log, error) {
+	if !pool.Contains(base, hdrWords*pmem.WordSize) {
+		return nil, ErrCorrupt
+	}
 	rd := func(i int) uint64 { return pool.Load(pid, base+pmem.Addr(i*pmem.WordSize)) }
 	if rd(hdrMagic) != logMagic {
+		return nil, ErrCorrupt
+	}
+	if rd(hdrCapacity) > maxPlausibleCapacity || rd(hdrMaxOps) > maxPlausibleOps {
 		return nil, ErrCorrupt
 	}
 	l := &Log{
@@ -163,6 +179,9 @@ func Open(pool *pmem.Pool, pid int, base pmem.Addr) (*Log, error) {
 	}
 	if l.capacity < 1 || l.slotW < SlotWords(1) || l.maxOps < 1 ||
 		l.slotW != slotWordsAligned(l.maxOps) {
+		return nil, ErrCorrupt
+	}
+	if !pool.Contains(base, RegionBytes(l.capacity, l.maxOps)) {
 		return nil, ErrCorrupt
 	}
 	recs := l.scan()
@@ -252,9 +271,9 @@ func (l *Log) AppendSnapshot(state []uint64, execIdx uint64) (uint64, error) {
 		l.snapRegion[k], l.snapCap[k] = a, need
 	}
 	region := l.snapRegion[k]
-	for i, w := range state {
-		l.pool.Store(l.pid, region+pmem.Addr(i*pmem.WordSize), w)
-	}
+	// Line-batched region write: one gate/lock/stat round per cache line
+	// (the region is line-aligned by Alloc).
+	l.pool.StoreRange(l.pid, region, state)
 	// Flush the region lines now; the record's fence will cover them.
 	l.flushRange(region, len(state)*pmem.WordSize)
 	payload := []uint64{uint64(region), uint64(len(state)), checksum(state)}
@@ -289,9 +308,12 @@ func (l *Log) appendRecord(kind int, execIdx uint64, payload []uint64) (uint64, 
 	words = append(words, checksum(words))
 	l.recBuf = words
 	addr := l.slotAddr(seq)
-	for i, w := range words {
-		l.pool.Store(l.pid, addr+pmem.Addr(i*pmem.WordSize), w)
-	}
+	// Record writes are line-batched: slots are line-aligned (see
+	// slotWordsAligned), so each StoreLine inside costs one gate check,
+	// one shard lock and one stat bump per cache line instead of one per
+	// word. Durability is untouched — the lines stay volatile until the
+	// flushes below and the single fence that follows.
+	l.pool.StoreRange(l.pid, addr, words)
 	l.flushRange(addr, len(words)*pmem.WordSize)
 	// THE one persistent fence of this append (and, in the universal
 	// construction, the one persistent fence of the whole update).

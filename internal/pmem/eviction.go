@@ -43,12 +43,28 @@ func (p *Pool) SetEviction(ep EvictionPolicy) {
 
 // maybeEvict is called with li's shard lock held, after a store dirtied
 // line li.
-func (p *Pool) maybeEvict(li uint64) {
+func (p *Pool) maybeEvict(li uint64) { p.maybeEvictN(li, 1) }
+
+// maybeEvictN is maybeEvict after a batched store of n words to line li
+// (StoreLine): it draws the policy once per word written, so a line-
+// batched write keeps exactly the per-word eviction firing rate of the
+// equivalent word stores. What coarsens is the tearing granularity —
+// the batch's words are already all in the cache when the draw happens,
+// so an eviction persists the whole batch, never a prefix of it; that
+// matches the line-granularity durability model (a line write-back is
+// indivisible from the crash's point of view). Caller holds li's shard
+// lock.
+func (p *Pool) maybeEvictN(li uint64, n int) {
 	if p.evict == nil {
 		return
 	}
-	count := p.evictCount.Add(1)
-	if !p.evict(li, count) {
+	fire := false
+	for ; n > 0; n-- {
+		if p.evict(li, p.evictCount.Add(1)) {
+			fire = true
+		}
+	}
+	if !fire {
 		return
 	}
 	cl := &p.cache[li]

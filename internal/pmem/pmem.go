@@ -211,9 +211,11 @@ type Pool struct {
 }
 
 // Reserved root area: the first rootCount words of the pool are a root
-// table used to locate top-level structures after a crash.
+// table used to locate top-level structures after a crash. 128 slots
+// leave room for one log pointer per possible pid (MaxPids = 64, based
+// at slot 8 in internal/core) plus the fixed system slots.
 const (
-	rootCount  = 64
+	rootCount  = 128
 	rootBytes  = rootCount * WordSize
 	minPoolLen = rootBytes
 )
@@ -346,6 +348,59 @@ func (p *Pool) Store(pid int, addr Addr, val uint64) {
 	cl.words[addr.word()%LineWords] = val
 	cl.dirty = true
 	p.maybeEvict(li)
+}
+
+// StoreLine writes vals into consecutive words starting at addr, all of
+// which must lie within one cache line, for one gate step, one
+// shard-lock acquisition and one statistics update — the
+// line-granularity write the log layer batches into (Cohen, Friedman
+// and Larus, OOPSLA 2017: make durability line-sized, then pay
+// coherency costs per line, not per word). The line is dirty in the
+// volatile cache until flushed and fenced and the crash oracle rules on
+// it exactly as after the equivalent word Stores; `Stats.Stores` still
+// counts words. Two granularities deliberately coarsen to the line: the
+// gate sees one step per line (so deterministic schedules and crash
+// injection interleave between lines, not between words of one line),
+// and a spontaneous eviction persists the whole batch, never a prefix
+// of it (maybeEvictN keeps the per-word firing rate). Both match the
+// model's line-indivisible write-backs.
+func (p *Pool) StoreLine(pid int, addr Addr, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	p.gate.Step(pid, "pmem.store")
+	checkPid(pid)
+	p.checkAddr(addr)
+	li := addr.Line()
+	w := addr.word() % LineWords
+	if w+uint64(len(vals)) > LineWords {
+		panic(fmt.Sprintf("pmem: StoreLine of %d words at %#x crosses a line boundary",
+			len(vals), uint64(addr)))
+	}
+	p.checkAddr(addr + Addr((len(vals)-1)*WordSize))
+	p.stats[pid].stores.Add(uint64(len(vals)))
+	mu := p.shard(li)
+	mu.Lock()
+	defer mu.Unlock()
+	cl := p.line(li)
+	copy(cl.words[w:w+uint64(len(vals))], vals)
+	cl.dirty = true
+	p.maybeEvictN(li, len(vals))
+}
+
+// StoreRange writes vals to consecutive words starting at addr, splitting
+// the write into per-line StoreLine batches: one gate step, one lock and
+// one stat bump per touched cache line instead of per word.
+func (p *Pool) StoreRange(pid int, addr Addr, vals []uint64) {
+	for len(vals) > 0 {
+		n := int(LineWords - addr.word()%LineWords)
+		if n > len(vals) {
+			n = len(vals)
+		}
+		p.StoreLine(pid, addr, vals[:n])
+		addr += Addr(n * WordSize)
+		vals = vals[n:]
+	}
 }
 
 // CAS atomically compares the word at addr with old and, if equal, writes

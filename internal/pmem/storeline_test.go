@@ -1,0 +1,102 @@
+package pmem
+
+import (
+	"sync"
+	"testing"
+)
+
+// countingGate records gate points (pmem tests run free-running
+// otherwise; this one just counts, it never blocks).
+type countingGate struct {
+	mu     sync.Mutex
+	points map[string]int
+}
+
+func (g *countingGate) Step(pid int, point string) {
+	g.mu.Lock()
+	g.points[point]++
+	g.mu.Unlock()
+}
+
+// TestStoreRangeMatchesWordStores writes the same data through word
+// Stores and through StoreRange and requires identical cache contents,
+// identical durability behaviour, and identical Stores statistics (the
+// stat still counts words; only the bump granularity changed).
+func TestStoreRangeMatchesWordStores(t *testing.T) {
+	vals := make([]uint64, 37) // crosses several lines, ragged tail
+	for i := range vals {
+		vals[i] = uint64(i)*0x9e3779b9 + 1
+	}
+
+	a := New(1<<16, nil)
+	b := New(1<<16, nil)
+	addrA := a.MustAlloc(len(vals) * WordSize)
+	addrB := b.MustAlloc(len(vals) * WordSize)
+	for i, v := range vals {
+		a.Store(1, addrA+Addr(i*WordSize), v)
+	}
+	b.StoreRange(1, addrB, vals)
+
+	for i := range vals {
+		if got, want := b.Load(1, addrB+Addr(i*WordSize)), a.Load(1, addrA+Addr(i*WordSize)); got != want {
+			t.Fatalf("word %d: StoreRange wrote %d, Store wrote %d", i, got, want)
+		}
+	}
+	if sa, sb := a.StatsOf(1).Stores, b.StatsOf(1).Stores; sa != sb {
+		t.Fatalf("Stores stat diverged: word stores %d, ranged stores %d", sa, sb)
+	}
+
+	// Unflushed ranged stores must be volatile, exactly like word stores.
+	b.Crash(DropAll)
+	if got := b.DurableWord(addrB); got != 0 {
+		t.Fatalf("unfenced StoreRange became durable: %d", got)
+	}
+
+	// And flushed+fenced they must all be durable.
+	c := New(1<<16, nil)
+	addrC := c.MustAlloc(len(vals) * WordSize)
+	c.StoreRange(2, addrC, vals)
+	c.Persist(2, addrC, len(vals)*WordSize)
+	c.Crash(DropAll)
+	for i, v := range vals {
+		if got := c.DurableWord(addrC + Addr(i*WordSize)); got != v {
+			t.Fatalf("word %d lost after persist+crash: got %d want %d", i, got, v)
+		}
+	}
+}
+
+// TestStoreRangeOneGateStepPerLine pins the cost model: a ranged store
+// over n lines must hit the gate (and so the scheduler) once per line,
+// not once per word.
+func TestStoreRangeOneGateStepPerLine(t *testing.T) {
+	g := &countingGate{points: map[string]int{}}
+	p := New(1<<16, nil)
+	p.SetGate(g)
+	addr := p.MustAlloc(4 * LineSize)
+
+	vals := make([]uint64, 3*LineWords) // 3 full aligned lines
+	p.StoreRange(1, addr, vals)
+	if got := g.points["pmem.store"]; got != 3 {
+		t.Fatalf("aligned 3-line StoreRange: %d gate steps, want 3", got)
+	}
+
+	// Unaligned start: 2 words in the first line, then one full line,
+	// then 1 word — three lines touched.
+	delete(g.points, "pmem.store")
+	p.StoreRange(1, addr+Addr((LineWords-2)*WordSize), make([]uint64, LineWords+3))
+	if got := g.points["pmem.store"]; got != 3 {
+		t.Fatalf("ragged 3-line StoreRange: %d gate steps, want 3", got)
+	}
+}
+
+// TestStoreLineRejectsLineCrossing pins the single-line contract.
+func TestStoreLineRejectsLineCrossing(t *testing.T) {
+	p := New(1<<16, nil)
+	addr := p.MustAlloc(2 * LineSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("line-crossing StoreLine did not panic")
+		}
+	}()
+	p.StoreLine(1, addr+Addr((LineWords-1)*WordSize), []uint64{1, 2})
+}

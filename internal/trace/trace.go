@@ -65,6 +65,14 @@ type Node struct {
 	// Wait-free insertion protocol fields (see WaitFree).
 	pred atomic.Pointer[Node]
 	succ atomic.Pointer[Node]
+
+	// claimed supports node pooling (core's per-handle freelists): after
+	// compaction cuts the trace, the cutter walks the now-unreachable
+	// segment and claims each node with a CAS on this flag, so every dead
+	// node is retired by exactly one handle even when two compactions
+	// race over an uncut boundary. The flag is cleared only in Reinit,
+	// when the claiming handle reuses the node exclusively.
+	claimed atomic.Bool
 }
 
 // NewNode returns a fresh update node for op, unavailable and unlinked.
@@ -88,6 +96,31 @@ func newSentinel() *Node {
 	n := &Node{Kind: KindInit}
 	n.available.Store(true)
 	return n
+}
+
+// TryClaim marks n as retired for pooling. It succeeds exactly once per
+// node lifetime (until Reinit); concurrent claimants race on a CAS, so a
+// dead segment reachable from two racing compaction walks is still
+// partitioned without double-retiring any node. Claiming a base or the
+// sentinel is harmless (callers check Kind after claiming and never pool
+// non-update nodes; the flag is not consulted anywhere else).
+func (n *Node) TryClaim() bool { return n.claimed.CompareAndSwap(false, true) }
+
+// Reinit re-initializes a claimed, quiesced update node so a pool can
+// hand it out in place of NewNode. The caller must own n exclusively:
+// n was claimed via TryClaim, is unreachable from the live trace, and no
+// in-flight walk can still dereference it (core enforces this with
+// published per-handle walk floors; see Handle.reclaim).
+func (n *Node) Reinit(op spec.Op) {
+	n.Op = op
+	n.Kind = KindUpdate
+	n.Snap, n.Seqs = nil, nil
+	n.idx.Store(0)
+	n.available.Store(false)
+	n.next.Store(nil)
+	n.pred.Store(nil)
+	n.succ.Store(nil)
+	n.claimed.Store(false)
 }
 
 // Idx returns the node's execution index.

@@ -18,6 +18,30 @@ type Step struct {
 	IsUpdate bool
 }
 
+// Handle is the per-process operation surface RunSteps drives;
+// core.Handle satisfies it.
+type Handle interface {
+	Update(code uint64, args ...uint64) (ret, id uint64, err error)
+	Read(code uint64, args ...uint64) uint64
+}
+
+// RunSteps executes steps in order against h, the one step-dispatch
+// loop shared by the throughput harnesses (BenchmarkThroughput* and
+// `onllbench -exp et`) so both always measure identical behaviour. It
+// stops at the first update error.
+func RunSteps(h Handle, steps []Step) error {
+	for _, st := range steps {
+		if st.IsUpdate {
+			if _, _, err := h.Update(st.Code, st.Args...); err != nil {
+				return err
+			}
+		} else {
+			h.Read(st.Code, st.Args...)
+		}
+	}
+	return nil
+}
+
 // Generator produces deterministic op streams for one object spec.
 type Generator struct {
 	sp      spec.Spec
@@ -70,3 +94,161 @@ func (g *Generator) Stream(seed int64, n, updatePct int) []Step {
 
 // Spec returns the generator's object specification.
 func (g *Generator) Spec() spec.Spec { return g.sp }
+
+// ---------------------------------------------------------------------
+// YCSB-style keyed workloads over the ordered map.
+// ---------------------------------------------------------------------
+
+// YCSBWorkload names one of the classic YCSB mixes, interpreted over the
+// ordered map (the index-tree-shaped object): A = 50/50 read/update,
+// B = 95/5 read-mostly, C = read-only, E = short range scans (served by
+// the ordered map's floor/ceil/select reads) plus inserts.
+type YCSBWorkload string
+
+const (
+	YCSBA YCSBWorkload = "ycsb-a" // 50% OMapGet, 50% OMapPut
+	YCSBB YCSBWorkload = "ycsb-b" // 95% OMapGet, 5% OMapPut
+	YCSBC YCSBWorkload = "ycsb-c" // 100% OMapGet
+	YCSBE YCSBWorkload = "ycsb-e" // 95% order queries (floor/ceil/select), 5% OMapPut
+)
+
+// YCSB generates deterministic keyed op streams for one of the named
+// mixes over objects.OrderedMapSpec. Keys follow a scrambled-zipfian
+// distribution over [1, KeySpace] — the skewed popular-key access
+// pattern the YCSB paper defines — so a handful of hot keys absorb most
+// operations, exactly the contention shape the dense ordered-map state
+// must absorb without allocating.
+type YCSB struct {
+	Mix      YCSBWorkload
+	KeySpace uint64  // number of distinct keys (default 1024)
+	Theta    float64 // zipfian skew exponent, > 1 (default 1.01 ~ YCSB's 0.99)
+}
+
+// NewYCSB returns a generator for the given mix with default
+// parameters (1024 keys, skew 1.01 — math/rand's Zipf needs s > 1, so
+// this is the closest stable stand-in for YCSB's canonical theta 0.99).
+func NewYCSB(mix YCSBWorkload) *YCSB {
+	return &YCSB{Mix: mix, KeySpace: 1024, Theta: 1.01}
+}
+
+// Spec returns the object the workload targets.
+func (y *YCSB) Spec() spec.Spec { return objects.OrderedMapSpec{} }
+
+// UpdatePct returns the mix's update percentage (for fence accounting).
+func (y *YCSB) UpdatePct() int {
+	switch y.Mix {
+	case YCSBA:
+		return 50
+	case YCSBB, YCSBE:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// Streams returns one deterministic stream of per steps for each of
+// nprocs processes (seeded per process), plus the total update count —
+// the shared driver setup for the throughput suites.
+func (y *YCSB) Streams(nprocs, per int) (streams [][]Step, updates int) {
+	streams = make([][]Step, nprocs)
+	for pid := range streams {
+		streams[pid] = y.Stream(int64(pid)*7919+1, per)
+		for _, st := range streams[pid] {
+			if st.IsUpdate {
+				updates++
+			}
+		}
+	}
+	return streams, updates
+}
+
+// Stream returns n steps drawn deterministically from seed. Every
+// update is an OMapPut of a zipfian key; reads are OMapGet except in
+// mix E, where they rotate over the order queries (floor, ceil,
+// select) that make the ordered map more than a hash table.
+func (y *YCSB) Stream(seed int64, n int) []Step {
+	rng := rand.New(rand.NewSource(seed))
+	space := y.KeySpace
+	if space == 0 {
+		space = 1024
+	}
+	theta := y.Theta
+	if theta <= 1 {
+		// math/rand's Zipf requires s > 1; 1.01 is the closest stable
+		// approximation of YCSB's canonical theta = 0.99 skew.
+		theta = 1.01
+	}
+	zipf := rand.NewZipf(rng, theta, 1, space-1)
+	updatePct := y.UpdatePct()
+	steps := make([]Step, 0, n)
+	for i := 0; i < n; i++ {
+		// Scramble the zipfian rank so hot keys spread over the key space
+		// (YCSB's "scrambled zipfian") instead of clustering at 1.
+		k := 1 + scramble(zipf.Uint64())%space
+		isUpdate := rng.Intn(100) < updatePct
+		switch {
+		case isUpdate:
+			steps = append(steps, Step{
+				Code: objects.OMapPut, IsUpdate: true,
+				Args: []uint64{k, rng.Uint64() >> 16},
+			})
+		case y.Mix == YCSBE:
+			switch i % 3 {
+			case 0:
+				steps = append(steps, Step{Code: objects.OMapFloor, Args: []uint64{k}})
+			case 1:
+				steps = append(steps, Step{Code: objects.OMapCeil, Args: []uint64{k}})
+			default:
+				steps = append(steps, Step{Code: objects.OMapSelect, Args: []uint64{k % 64}})
+			}
+		default:
+			steps = append(steps, Step{Code: objects.OMapGet, Args: []uint64{k}})
+		}
+	}
+	return steps
+}
+
+// scramble is the YCSB fnv-style rank scrambler (64-bit mix).
+func scramble(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ---------------------------------------------------------------------
+// Shared sizing policy for the throughput suites.
+// ---------------------------------------------------------------------
+
+// ThroughputCompactEvery and ThroughputLogCapacity return the instance
+// geometry both throughput harnesses (BenchmarkThroughput* and
+// `onllbench -exp et`) use for nprocs simulated processes, so the JSON
+// artifact and the Go benchmarks always measure the same configuration
+// (pfences/op depends on CompactEvery exactly). Past 8 processes the
+// per-process logs shrink — slot width scales with the fuzzy-window
+// bound, i.e. with nprocs — and compaction tightens, keeping 64 logs
+// inside a CI-class memory budget.
+func ThroughputCompactEvery(nprocs int) int {
+	if nprocs > 8 {
+		return 1 << 7
+	}
+	return 1 << 10
+}
+
+// ThroughputLogCapacity returns the per-process log slot count.
+func ThroughputLogCapacity(nprocs int) int {
+	if nprocs > 8 {
+		return 1 << 9
+	}
+	return 1 << 12
+}
+
+// ThroughputPoolBytes returns the pool size fitting nprocs such logs.
+func ThroughputPoolBytes(nprocs int) int {
+	if nprocs > 8 {
+		return 1 << 27
+	}
+	return 1 << 26
+}

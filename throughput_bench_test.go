@@ -17,10 +17,30 @@ import (
 	"repro/internal/core"
 	"repro/internal/objects"
 	"repro/internal/pmem"
+	"repro/internal/workload"
 )
 
-// throughputProcs are the scaling points of the suite.
-var throughputProcs = []int{1, 2, 4, 8}
+// throughputProcs are the scaling points of the suite, up to the full
+// pid space (sched.MaxPids = core.MaxProcs = 64).
+var throughputProcs = []int{1, 2, 4, 8, 16, 32, 64}
+
+// throughputConfig sizes an instance for nprocs simulated processes,
+// using the sizing policy shared with `onllbench -exp et`
+// (workload.Throughput*), so the JSON artifact and these benchmarks
+// always measure the same configuration.
+func throughputConfig(nprocs int) core.Config {
+	return core.Config{
+		NProcs:       nprocs,
+		LocalViews:   true,
+		CompactEvery: workload.ThroughputCompactEvery(nprocs),
+		LogCapacity:  workload.ThroughputLogCapacity(nprocs),
+	}
+}
+
+// throughputPoolSize returns a pool size that fits nprocs logs.
+func throughputPoolSize(nprocs int) int {
+	return workload.ThroughputPoolBytes(nprocs)
+}
 
 // runThroughput drives nprocs goroutine-backed handles for per ops each
 // (updatePct percent updates, rest reads) and returns total ops done.
@@ -49,10 +69,8 @@ func runThroughput(b *testing.B, in *core.Instance, nprocs, per, updatePct int) 
 
 func benchThroughput(b *testing.B, nprocs, updatePct int) {
 	b.Helper()
-	pool := pmem.New(benchPool, nil)
-	in, err := core.New(pool, objects.CounterSpec{}, core.Config{
-		NProcs: nprocs, LocalViews: true, CompactEvery: 1 << 10, LogCapacity: 1 << 12,
-	})
+	pool := pmem.New(throughputPoolSize(nprocs), nil)
+	in, err := core.New(pool, objects.CounterSpec{}, throughputConfig(nprocs))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -86,6 +104,45 @@ func BenchmarkThroughput(b *testing.B) {
 	for _, nprocs := range throughputProcs {
 		b.Run(fmt.Sprintf("mixed50_p%d", nprocs), func(b *testing.B) {
 			benchThroughput(b, nprocs, 50)
+		})
+	}
+}
+
+// BenchmarkThroughputYCSB drives the YCSB-A keyed mix (50/50 zipfian
+// get/put) against the ordered map — the index-tree-shaped object — at
+// each scaling point. It exercises the dense ordered-map state under a
+// skewed keyed workload rather than the counter's single hot word.
+func BenchmarkThroughputYCSB(b *testing.B) {
+	for _, nprocs := range throughputProcs {
+		b.Run(fmt.Sprintf("ycsba_p%d", nprocs), func(b *testing.B) {
+			pool := pmem.New(throughputPoolSize(nprocs), nil)
+			in, err := core.New(pool, objects.OrderedMapSpec{}, throughputConfig(nprocs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			y := workload.NewYCSB(workload.YCSBA)
+			per := b.N/nprocs + 1
+			streams, updates := y.Streams(nprocs, per)
+			pool.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for pid := 0; pid < nprocs; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					if err := workload.RunSteps(in.Handle(pid), streams[pid]); err != nil {
+						panic(err)
+					}
+				}(pid)
+			}
+			wg.Wait()
+			b.StopTimer()
+			tot := pool.TotalStats()
+			b.ReportMetric(float64(per*nprocs)/b.Elapsed().Seconds(), "ops/sec")
+			if updates > 0 {
+				b.ReportMetric(float64(tot.PersistentFences)/float64(updates), "pfences/op")
+			}
 		})
 	}
 }
