@@ -640,11 +640,38 @@ func e12() error {
 
 // throughputPoint is one measurement of the suite.
 type throughputPoint struct {
-	Workload      string  `json:"workload"` // "updates" or "mixed50"
+	Workload      string  `json:"workload"` // "updates", "mixed50" or "ycsb-{a,b,c,e}"
 	Procs         int     `json:"procs"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	PFencesPerUpd float64 `json:"pfences_per_update"`
+}
+
+// footprintPoint records the per-process log footprint of the two-tier
+// slot layout against the retired single-tier layout, at the geometry
+// the throughput suite actually runs.
+type footprintPoint struct {
+	Procs           int     `json:"procs"`
+	LogCapacity     int     `json:"log_capacity"`
+	RegionBytes     int     `json:"region_bytes_two_tier"`
+	SingleTierBytes int     `json:"region_bytes_single_tier"`
+	Ratio           float64 `json:"single_over_two_tier"`
+}
+
+// footprintTable evaluates plog.RegionBytes at the suite's sweep points.
+func footprintTable() []footprintPoint {
+	var out []footprintPoint
+	for _, procs := range []int{8, 16, 32, 64} {
+		cap := workload.ThroughputLogCapacity(procs)
+		two := plog.RegionBytes(cap, procs)
+		one := plog.SingleTierRegionBytes(cap, procs)
+		out = append(out, footprintPoint{
+			Procs: procs, LogCapacity: cap,
+			RegionBytes: two, SingleTierBytes: one,
+			Ratio: float64(one) / float64(two),
+		})
+	}
+	return out
 }
 
 // throughputPR1 records the suite's numbers for the PR 1 code (sharded
@@ -764,15 +791,21 @@ func measureThroughput(nprocs, updatePct, totalOps int) (throughputPoint, error)
 	return pt, nil
 }
 
-// measureYCSB drives the YCSB-A keyed mix (50/50 zipfian get/put) over
-// the ordered map with nprocs handles and returns the measured point.
-func measureYCSB(nprocs, totalOps int) (throughputPoint, error) {
+// measureYCSB drives one of the YCSB keyed mixes (zipfian keys over the
+// ordered map) with nprocs handles and returns the measured point. The
+// map is preloaded with the whole key space, as YCSB loads its dataset,
+// so read-heavy mixes measure lookups against a populated index rather
+// than misses on an empty one.
+func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int) (throughputPoint, error) {
 	pool := pmem.New(etPoolSize(nprocs), nil)
 	in, err := core.New(pool, objects.OrderedMapSpec{}, etConfig(nprocs))
 	if err != nil {
 		return throughputPoint{}, err
 	}
-	y := workload.NewYCSB(workload.YCSBA)
+	y := workload.NewYCSB(mix)
+	if err := y.Preload(in.Handle(0)); err != nil {
+		return throughputPoint{}, err
+	}
 	per := totalOps / nprocs
 	streams, updates := y.Streams(nprocs, per)
 	// Warm-up pass so the measured pass is steady state.
@@ -797,13 +830,17 @@ func measureYCSB(nprocs, totalOps int) (throughputPoint, error) {
 	el := time.Since(start)
 	total := per * nprocs
 	pt := throughputPoint{
-		Workload:  "ycsb-a",
+		Workload:  string(mix),
 		Procs:     nprocs,
 		OpsPerSec: float64(total) / el.Seconds(),
 		NsPerOp:   float64(el.Nanoseconds()) / float64(total),
 	}
 	if updates > 0 {
 		pt.PFencesPerUpd = float64(pool.TotalStats().PersistentFences) / float64(updates)
+	} else if pf := pool.TotalStats().PersistentFences; pf > 0 {
+		// Read-only mix (YCSB-C): any persistent fence is a bug in the
+		// fence-free read path.
+		return pt, fmt.Errorf("%s: %d persistent fences on a read-only mix", mix, pf)
 	}
 	return pt, nil
 }
@@ -813,7 +850,7 @@ var etProcs = []int{1, 2, 4, 8, 16, 32, 64}
 
 // et: simulator-substrate throughput scaling over 1..64 processes.
 func et() error {
-	header("ET: parallel throughput suite (dense objects + line-batched log vs recorded baselines)")
+	header("ET: parallel throughput suite (two-tier logs + YCSB-A/B/C/E vs recorded baselines)")
 	row("workload/procs", "ops/sec", "ns/op", "pf/update", "vs pr1")
 	prev := func(wl string, procs int) float64 {
 		for _, b := range throughputPR1 {
@@ -842,16 +879,25 @@ func et() error {
 				fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
 		}
 	}
-	for _, nprocs := range etProcs {
-		pt, err := measureYCSB(nprocs, totalOps)
-		if err != nil {
-			return err
+	for _, mix := range []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBE} {
+		for _, nprocs := range etProcs {
+			pt, err := measureYCSB(mix, nprocs, totalOps)
+			if err != nil {
+				return err
+			}
+			current = append(current, pt)
+			row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
+				fmt.Sprintf("%.0f", pt.OpsPerSec),
+				fmt.Sprintf("%.0f", pt.NsPerOp),
+				fmt.Sprintf("%.3f", pt.PFencesPerUpd), "n/a")
 		}
-		current = append(current, pt)
-		row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
-			fmt.Sprintf("%.0f", pt.OpsPerSec),
-			fmt.Sprintf("%.0f", pt.NsPerOp),
-			fmt.Sprintf("%.3f", pt.PFencesPerUpd), "n/a")
+	}
+	footprint := footprintTable()
+	fmt.Println()
+	row("log footprint (procs)", "capacity", "two-tier B", "single-tier B", "ratio")
+	for _, fp := range footprint {
+		row(fmt.Sprint(fp.Procs), fp.LogCapacity, fp.RegionBytes, fp.SingleTierBytes,
+			fmt.Sprintf("%.2fx", fp.Ratio))
 	}
 	if *jsonFlag {
 		artifact := struct {
@@ -860,23 +906,29 @@ func et() error {
 			GoMaxProcs    int               `json:"go_max_procs"`
 			BaselineNote  string            `json:"baseline_note"`
 			PR1Note       string            `json:"pr1_note"`
+			FootprintNote string            `json:"footprint_note"`
 			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
 			PR1           []throughputPoint `json:"pr1_sharded_pool"`
-			Current       []throughputPoint `json:"current_dense_objects"`
+			Current       []throughputPoint `json:"current_two_tier_logs"`
+			Footprint     []footprintPoint  `json:"log_footprint"`
 		}{
-			Schema:        "bench_throughput/v2",
+			Schema:        "bench_throughput/v3",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			BaselineNote: "baseline measured on the seed's single-mutex map-backed pool " +
 				"with the identical workload, before the lock-striped rewrite",
 			PR1Note: "pr1 code (sharded pool, before dense object states, line-batched " +
 				"log writes and trace-node pooling) re-measured in the same session " +
-				"as Current for an apples-to-apples delta; the PR 1 session itself " +
-				"recorded updates@8 = 1,700,511 ops/sec for the same code (host " +
-				"noise). ycsb-a and the 16/32/64-process points did not exist yet",
-			Baseline: throughputBaseline,
-			PR1:      throughputPR1,
-			Current:  current,
+				"as the PR 2 numbers for an apples-to-apples delta; the PR 1 session " +
+				"itself recorded updates@8 = 1,700,511 ops/sec for the same code " +
+				"(host noise). ycsb and the 16/32/64-process points did not exist yet",
+			FootprintNote: "plog.RegionBytes of the two-tier slot layout (inline budget " +
+				"4 ops + shared overflow ring at 1/8 of worst case) vs the retired " +
+				"single-tier layout, at the suite's log geometry; pfences/op unchanged",
+			Baseline:  throughputBaseline,
+			PR1:       throughputPR1,
+			Current:   current,
+			Footprint: footprint,
 		}
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/objects"
+	"repro/internal/plog"
 	"repro/internal/pmem"
+	"repro/internal/sched"
 	"repro/internal/spec"
 )
 
@@ -107,6 +109,141 @@ func TestRecoveryClobberedRootSlots(t *testing.T) {
 			// to frame a valid log, which none of these values do.
 			t.Fatalf("root=%#x: recovery accepted a wild log pointer", bad)
 		}
+	}
+}
+
+// TestRecoveryTornOverflowFallsBack builds a deterministic image in
+// which one record spilled to its log's overflow ring (a process is
+// stalled between order and persist, so the next updater's record
+// carries two ops — past the inline budget of 1), then corrupts the
+// spilled record's overflow chunk. Whole-image recovery must fall back
+// to the records before the tear: it recovers exactly the prefix whose
+// records still verify, serves reads from it, and never panics.
+func TestRecoveryTornOverflowFallsBack(t *testing.T) {
+	ctl := sched.NewController()
+	pool := pmem.New(1<<22, ctl)
+	in, err := core.New(pool, objects.MapSpec{}, core.Config{
+		NProcs: 3, LogCapacity: 64, LogInlineOps: 1, Gate: ctl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 orders an update but stalls before persisting it.
+	ctl.Spawn(1, func() { in.Handle(1).Update(objects.MapPut, 100, 1) })
+	if _, ok := ctl.RunUntil(1, sched.AtPoint(core.PointOrdered)); !ok {
+		t.Fatal("p1 finished early")
+	}
+	// p0's first update helps p1's stalled op: a 2-op record, which the
+	// inline budget of 1 forces through the overflow ring. The following
+	// updates see p0's own op available, so they stay inline.
+	done := ctl.Spawn(0, func() {
+		h := in.Handle(0)
+		for i := 0; i < 4; i++ {
+			if _, _, err := h.Update(objects.MapPut, uint64(i+1), uint64(10*(i+1))); err != nil {
+				panic(err)
+			}
+		}
+	})
+	ctl.RunToCompletion(0)
+	<-done
+	ctl.KillAll()
+
+	recs := in.Log(0).Records()
+	if len(recs) != 4 || !recs[0].Overflow || recs[0].Kind != plog.KindOps {
+		t.Fatalf("setup: p0 log %+v, want 4 records with the first spilled", recs)
+	}
+	if recs[1].Overflow || recs[2].Overflow || recs[3].Overflow {
+		t.Fatalf("setup: later records unexpectedly spilled: %+v", recs)
+	}
+	off, _, _ := recs[0].OverflowSpan()
+	ovfBase, _ := in.Log(0).OverflowRegion()
+	pool.SetGate(nil)
+	pool.Crash(pmem.KeepAll) // everything in flight lands; image is intact
+	durablyCorrupt(pool, ovfBase+pmem.Addr(off*pmem.WordSize), 0xBADC0DE)
+
+	in2, rep, err := core.Recover(pool, objects.MapSpec{}, core.Config{})
+	if err != nil {
+		t.Fatalf("recovery after torn overflow: %v", err)
+	}
+	// The spilled record held indices 1 (p1's helped op) and 2 (p0's
+	// first own op); tearing its chunk kills p0's whole log prefix, so
+	// nothing is recoverable: index 1 exists in no other log.
+	if rep.LastIdx != 0 || len(rep.Ordered) != 0 {
+		t.Fatalf("recovered %d ops past a torn overflow chunk: %+v", rep.LastIdx, rep.Ordered)
+	}
+	if got := in2.Handle(0).Read(objects.MapLen); got != 0 {
+		t.Fatalf("post-recovery map has %d entries, want 0", got)
+	}
+}
+
+// TestRecoveryTornOverflowKeepsPrefix is the counterpart with the tear
+// in a LATER spilled record: a second stall forces p0's fourth record
+// through the ring; corrupting that chunk must preserve the three
+// records before it.
+func TestRecoveryTornOverflowKeepsPrefix(t *testing.T) {
+	ctl := sched.NewController()
+	pool := pmem.New(1<<22, ctl)
+	in, err := core.New(pool, objects.MapSpec{}, core.Config{
+		NProcs: 3, LogCapacity: 64, LogInlineOps: 1, Gate: ctl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p0 performs three clean updates (indices 1..3, all inline) and a
+	// fourth one; the controller holds it after the third so p2 can
+	// stall mid-order first, making the fourth record spill.
+	done := ctl.Spawn(0, func() {
+		h := in.Handle(0)
+		for i := 0; i < 4; i++ {
+			k, v := uint64(i+1), uint64(10*(i+1))
+			if i == 3 {
+				k, v = 50, 500
+			}
+			if _, _, err := h.Update(objects.MapPut, k, v); err != nil {
+				panic(err)
+			}
+		}
+	})
+	for i := 0; i < 3; i++ {
+		if _, ok := ctl.RunPast(0, sched.AtPoint(core.PointReturn)); !ok {
+			t.Fatal("p0 finished early")
+		}
+	}
+	// p2 orders index 4 and stalls; p0's fourth update (index 5) helps
+	// it and spills past the inline budget of 1.
+	ctl.Spawn(2, func() { in.Handle(2).Update(objects.MapPut, 200, 2) })
+	if _, ok := ctl.RunUntil(2, sched.AtPoint(core.PointOrdered)); !ok {
+		t.Fatal("p2 finished early")
+	}
+	ctl.RunToCompletion(0)
+	<-done
+	ctl.KillAll()
+
+	recs := in.Log(0).Records()
+	if len(recs) != 4 || !recs[3].Overflow {
+		t.Fatalf("setup: p0 log %+v, want 4 records with the last spilled", recs)
+	}
+	off, _, _ := recs[3].OverflowSpan()
+	ovfBase, _ := in.Log(0).OverflowRegion()
+	pool.SetGate(nil)
+	pool.Crash(pmem.KeepAll)
+	durablyCorrupt(pool, ovfBase+pmem.Addr(off*pmem.WordSize), 0xBADC0DE)
+
+	in2, rep, err := core.Recover(pool, objects.MapSpec{}, core.Config{})
+	if err != nil {
+		t.Fatalf("recovery after torn overflow: %v", err)
+	}
+	if rep.LastIdx != 3 {
+		t.Fatalf("recovered LastIdx %d, want the 3-op prefix before the tear", rep.LastIdx)
+	}
+	h := in2.Handle(0)
+	for i := 1; i <= 3; i++ {
+		if got := h.Read(objects.MapGet, uint64(i)); got != uint64(10*i) {
+			t.Fatalf("recovered map[%d] = %d, want %d", i, got, 10*i)
+		}
+	}
+	if got := h.Read(objects.MapGet, 50); got == 500 {
+		t.Fatal("op after the torn record survived recovery")
 	}
 }
 

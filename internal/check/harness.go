@@ -27,6 +27,10 @@ type HarnessConfig struct {
 	WaitFree     bool
 	LocalViews   bool
 	CompactEvery int
+	// LogInlineOps is the two-tier inline slot budget passed through to
+	// core.Config (0 = plog default); sweeps shrink it to force records
+	// through the overflow ring.
+	LogInlineOps int
 	// EvictionRate, if nonzero, enables spontaneous cache eviction at
 	// roughly one write-back per EvictionRate stores (seeded by Seed):
 	// data may become durable earlier than fenced, never later.
@@ -43,10 +47,12 @@ type HarnessResult struct {
 	Steps    uint64
 }
 
-// poolSizeFor sizes a pool generously for the run.
+// poolSizeFor sizes a pool generously for the run, honouring the
+// configured inline budget (a single-tier budget needs far larger logs
+// than the two-tier default).
 func poolSizeFor(cfg HarnessConfig) (int, int) {
 	logCap := cfg.OpsPerProc*2 + 64
-	size := cfg.NProcs*plog.RegionBytes(logCap, cfg.NProcs)*2 + (1 << 21)
+	size := cfg.NProcs*plog.RegionBytesInline(logCap, cfg.NProcs, cfg.LogInlineOps)*2 + (1 << 21)
 	return size, logCap
 }
 
@@ -59,17 +65,23 @@ func RunCrash(cfg HarnessConfig) (*HarnessResult, error) {
 	}
 	size, logCap := poolSizeFor(cfg)
 	gate := sched.NewStepCounter(cfg.CrashStep, nil)
-	pool := pmem.New(size, gate)
+	pool := pmem.New(size, nil)
 	if cfg.EvictionRate > 0 {
 		pool.SetEviction(pmem.SeededEviction(uint64(cfg.Seed)+1, cfg.EvictionRate))
 	}
 	in, err := core.New(pool, cfg.Spec, core.Config{
 		NProcs: cfg.NProcs, LogCapacity: logCap, Gate: gate,
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
+		LogInlineOps: cfg.LogInlineOps,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Arm the crash gate only now: CrashStep indexes steps of the
+	// measured workload, not of setup. At high process counts setup
+	// alone is tens of thousands of pool steps, and a kill inside
+	// core.New would panic the harness caller instead of a worker.
+	pool.SetGate(gate)
 	hist := NewHistory()
 	gen := workload.NewGenerator(cfg.Spec)
 

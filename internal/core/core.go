@@ -77,6 +77,22 @@ type Config struct {
 	// LogCapacity is the number of record slots per per-process log.
 	// Zero selects a default suitable for the test workloads.
 	LogCapacity int
+	// LogInlineOps is the per-slot inline op budget of the two-tier log
+	// layout: records assembling at most this many fuzzy-window ops live
+	// entirely in their slot, larger records spill their tail to the
+	// log's shared overflow ring. Zero selects plog.DefaultInlineOps;
+	// values >= NProcs make the logs single-tier (every slot sized for
+	// the worst-case window, the pre-two-tier layout).
+	//
+	// The ring is sized at 1/8 of the worst case, so a sustained run of
+	// deep fuzzy windows can exhaust it before the slot ring fills.
+	// With LocalViews enabled, Update absorbs that transparently (the
+	// compactForSpace pressure valve); without them there is no state
+	// to snapshot from and Update fails with plog.ErrOvfFull, a failure
+	// the single-tier layout only hit at full slot capacity — workloads
+	// that stall processes deeply and cannot enable local views should
+	// keep the logs single-tier.
+	LogInlineOps int
 	// Gate interposes deterministic scheduling / crash injection; nil
 	// means free-running.
 	Gate sched.Gate
@@ -111,6 +127,9 @@ type Config struct {
 func (c *Config) fill() error {
 	if c.NProcs < 1 || c.NProcs > MaxProcs {
 		return fmt.Errorf("core: NProcs %d out of range [1,%d]", c.NProcs, MaxProcs)
+	}
+	if c.LogInlineOps < 0 {
+		return fmt.Errorf("core: LogInlineOps %d negative", c.LogInlineOps)
 	}
 	if c.LogCapacity == 0 {
 		c.LogCapacity = 1 << 12
@@ -151,7 +170,7 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 		in.tr = trace.NewLockFree(cfg.Gate)
 	}
 	for pid := 0; pid < cfg.NProcs; pid++ {
-		l, err := plog.Create(pool, pid, cfg.LogCapacity, cfg.NProcs)
+		l, err := plog.CreateInline(pool, pid, cfg.LogCapacity, cfg.NProcs, cfg.LogInlineOps)
 		if err != nil {
 			return nil, fmt.Errorf("core: creating log for p%d: %w", pid, err)
 		}
@@ -308,7 +327,10 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	// Persist: this operation plus the fuzzy window before it (helping
 	// delayed processes), one log append, ONE persistent fence. The
 	// scratch buffer is safe to reuse: Append copies the ops into NVM
-	// and retains nothing.
+	// and retains nothing. The record is assembled against the log's
+	// inline budget transparently — a window deeper than
+	// Config.LogInlineOps spills to the log's overflow ring inside the
+	// same single-fence append.
 	h.fuzzyBuf = trace.GetFuzzyOpsInto(h.fuzzyBuf, in.gate, h.pid, node)
 	fuzzy := h.fuzzyBuf
 	if in.cfg.UnsafeNoHelping {
@@ -322,7 +344,21 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 		in.tr.SetAvailable(h.pid, node)
 	}
 	if _, err = in.logs[h.pid].Append(fuzzy, node.Idx()); err != nil {
-		return 0, op.ID, fmt.Errorf("core: persist stage: %w", err)
+		if errors.Is(err, plog.ErrOvfFull) {
+			// The overflow ring is sized at 1/8 of the worst case, so a
+			// burst of deep fuzzy windows can exhaust it long before the
+			// slot ring fills. Per the plog contract (truncate, then
+			// retry), free the chunks by compacting this log behind the
+			// local view and retry the append once.
+			if cerr := h.compactForSpace(); cerr == nil {
+				_, err = in.logs[h.pid].Append(fuzzy, node.Idx())
+			} else {
+				err = fmt.Errorf("%w (pressure valve failed: %v)", err, cerr)
+			}
+		}
+		if err != nil {
+			return 0, op.ID, fmt.Errorf("core: persist stage: %w", err)
+		}
 	}
 	in.gate.Step(h.pid, PointPersisted)
 
@@ -584,23 +620,60 @@ func (h *Handle) compact(node *trace.Node) error {
 	if h.viewIdx != s {
 		return fmt.Errorf("core: compact view at %d, node at %d", h.viewIdx, s)
 	}
-	snap := h.view.Snapshot()
-	seqs := append([]uint64(nil), h.viewSeqs...)
-	log := h.in.logs[h.pid]
-	seq, err := log.AppendSnapshot(snapEncode(seqs, snap), s)
+	snap, seqs, err := h.snapshotAndTruncate(s)
 	if err != nil {
 		return err
-	}
-	if seq > 1 {
-		if err := log.Truncate(seq - 1); err != nil {
-			return err
-		}
 	}
 	old := node.Next()
 	base := trace.NewBase(s, snap, seqs)
 	node.SetNextBase(base)
 	h.reclaim(old)
 	return nil
+}
+
+// compactForSpace is the overflow-ring pressure valve, called from the
+// persist stage when plog reports ErrOvfFull: it durably snapshots the
+// local view at its current index and truncates every earlier record
+// of this process's log, freeing the records' overflow chunks so the
+// in-flight append can retry. Every operation at or below the view
+// index is already durable (the previous update's fence covered its
+// whole fuzzy window), so the snapshot is a valid recovery base — this
+// is exactly compact's log half. Unlike compact it does NOT cut the
+// trace: the in-flight operation is ordered but not yet available, so
+// the trace must stay intact for readers and walkers. Costs two extra
+// persistent fences (snapshot + truncate), only on the exhaustion
+// path.
+func (h *Handle) compactForSpace() error {
+	if h.view == nil {
+		return errors.New("core: overflow ring full and no local view to compact from")
+	}
+	if h.viewIdx == 0 || h.in.logs[h.pid].Len() == 0 {
+		return errors.New("core: overflow ring full with nothing to compact")
+	}
+	_, _, err := h.snapshotAndTruncate(h.viewIdx)
+	return err
+}
+
+// snapshotAndTruncate durably appends a snapshot of the local view
+// (state + covered-sequence vector) at execution index idx and
+// truncates every earlier record of this process's log — the log half
+// of compaction, shared by the regular cadence (compact) and the
+// overflow pressure valve (compactForSpace). It returns the snapshot
+// body and sequence vector for callers that also cut the trace.
+func (h *Handle) snapshotAndTruncate(idx uint64) (snap, seqs []uint64, err error) {
+	snap = h.view.Snapshot()
+	seqs = append([]uint64(nil), h.viewSeqs...)
+	log := h.in.logs[h.pid]
+	seq, err := log.AppendSnapshot(snapEncode(seqs, snap), idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if seq > 1 {
+		if err := log.Truncate(seq - 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	return snap, seqs, nil
 }
 
 // ---------------------------------------------------------------------

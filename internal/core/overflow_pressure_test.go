@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/pmem"
+	"repro/internal/sched"
+)
+
+// TestUpdateSurvivesOverflowRingExhaustion pins the overflow-ring
+// pressure valve. Each round stalls p1 between order and persist and
+// lets p0 run one update, so every p0 record carries p1's pending op —
+// past the inline budget of 1, into the overflow ring. The geometry
+// below gives the ring room for 16 spilled tails; 20 rounds exhaust
+// it, and the exhaustion must be absorbed by compactForSpace
+// (snapshot + truncate + retry) instead of failing the update, with
+// the full history surviving a crash.
+func TestUpdateSurvivesOverflowRingExhaustion(t *testing.T) {
+	const rounds = 20
+	ctl := sched.NewController()
+	pool := pmem.New(1<<22, ctl)
+	in, err := New(pool, objects.CounterSpec{}, Config{
+		// CompactEvery is set far past the run so only the pressure
+		// valve — never the regular compaction cadence — truncates.
+		// Ring: max(64 slots * 16-word chunk / 8, 4*16) = 128 words,
+		// 16 aligned 1-op tails.
+		NProcs: 3, LogCapacity: 64, LogInlineOps: 1,
+		LocalViews: true, CompactEvery: 1 << 20, Gate: ctl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done1 := ctl.Spawn(1, func() {
+		h := in.Handle(1)
+		for i := 0; i < rounds; i++ {
+			if _, _, err := h.Update(objects.CounterInc); err != nil {
+				panic(err)
+			}
+		}
+	})
+	done0 := ctl.Spawn(0, func() {
+		h := in.Handle(0)
+		for i := 0; i < rounds; i++ {
+			if _, _, err := h.Update(objects.CounterInc); err != nil {
+				panic(err)
+			}
+		}
+	})
+	for i := 0; i < rounds; i++ {
+		if _, ok := ctl.RunUntil(1, sched.AtPoint(PointOrdered)); !ok {
+			t.Fatalf("round %d: p1 finished early", i)
+		}
+		if _, ok := ctl.RunPast(0, sched.AtPoint(PointReturn)); !ok {
+			t.Fatalf("round %d: p0 finished early", i)
+		}
+		if _, ok := ctl.RunPast(1, sched.AtPoint(PointReturn)); !ok {
+			t.Fatalf("round %d: p1 could not finish its update", i)
+		}
+	}
+	ctl.RunToCompletion(0)
+	ctl.RunToCompletion(1)
+	if out := <-done0; out != nil {
+		t.Fatalf("p0 failed under ring exhaustion: %v", out)
+	}
+	if out := <-done1; out != nil {
+		t.Fatalf("p1 failed: %v", out)
+	}
+	ctl.KillAll()
+
+	// The valve must actually have fired: without truncation p0's log
+	// would hold all its records.
+	if live := in.Log(0).Len(); live >= rounds {
+		t.Fatalf("p0 log holds %d records; compactForSpace never truncated", live)
+	}
+
+	pool.SetGate(nil)
+	pool.Crash(pmem.DropAll) // every update was fenced: all must survive
+	in2, rep, err := Recover(pool, objects.CounterSpec{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in2.Handle(0).Read(objects.CounterGet); got != 2*rounds {
+		t.Fatalf("recovered counter %d, want %d", got, 2*rounds)
+	}
+	for pid := 0; pid < 2; pid++ {
+		for seq := uint64(1); seq <= rounds; seq++ {
+			// Every completed update must stay detectable, via the
+			// emergency snapshots' covered-sequence vector or records.
+			if _, ok := rep.WasLinearized(uint64(pid+1)<<48 | seq); !ok {
+				t.Fatalf("p%d op %d vanished across the emergency compaction", pid, seq)
+			}
+		}
+	}
+}

@@ -85,6 +85,81 @@ func TestFuzzRandomCorruptionNeverPanics(t *testing.T) {
 	}
 }
 
+// buildTieredLogWithOverflow returns a pool and a two-tier log holding a
+// mix of inline records, spilled records and snapshot records, all
+// durable (inline budget 2, so batches of 3+ ops overflow).
+func buildTieredLogWithOverflow(t *testing.T) (*pmem.Pool, *Log) {
+	t.Helper()
+	pool := pmem.New(1<<20, nil)
+	l, err := CreateInline(pool, 0, 32, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []uint64{0xC0DE0007, 2, 10, 100, 20, 200}
+	for i := 1; i <= 12; i++ {
+		switch {
+		case i%5 == 0:
+			if _, err := l.AppendSnapshot(state, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			ops := opsOf(1+i%7, i) // sizes 1..7: inline and spilled mixed
+			if _, err := l.Append(ops, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return pool, l
+}
+
+// TestFuzzRandomCorruptionTwoTierNeverPanics is the two-tier variant of
+// the fuzz above: random durable bit flips over the whole log region —
+// header, inline slots, overflow ring and snapshot regions — must leave
+// Open + Records rejecting or returning only verifying, COMPLETE
+// records (an overflow record may never surface with a partial batch).
+func TestFuzzRandomCorruptionTwoTierNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		pool, l := buildTieredLogWithOverflow(t)
+		pool.Crash(pmem.DropAll)
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			w := rng.Intn(pool.Size() / (4 * pmem.WordSize))
+			addr := pmem.Addr(w * pmem.WordSize)
+			var val uint64
+			switch rng.Intn(3) {
+			case 0:
+				val = rng.Uint64()
+			case 1:
+				val = pool.DurableWord(addr) ^ (1 << uint(rng.Intn(64)))
+			default:
+				val = ^uint64(0)
+			}
+			corrupt(pool, addr, val)
+		}
+		pool.Crash(pmem.DropAll)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			l2, err := Open(pool, 0, l.Base())
+			if err != nil {
+				return // rejected: fine
+			}
+			for _, rec := range l2.Records() {
+				if rec.Kind == KindSnapshot && rec.State == nil {
+					t.Fatalf("trial %d: snapshot record without state", trial)
+				}
+				if rec.Kind == KindOps && rec.Overflow &&
+					len(rec.Ops) <= l2.InlineOps() {
+					t.Fatalf("trial %d: spilled record with %d ops surfaced", trial, len(rec.Ops))
+				}
+			}
+		}()
+	}
+}
+
 // TestTruncatedSnapshotRegionRejected shrinks a snapshot record's region
 // length below the written state (a torn count word) and requires the
 // record to fail verification, not to panic or return short state.

@@ -1,0 +1,270 @@
+package plog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// Geometry tests for the two-tier layout: Create/Open round-trips over
+// random (capacity, maxOps, inline budget), and adversarial headers and
+// overflow descriptors. The absolute rule: Open consumes untrusted NVM
+// and must reject bad geometry with an error — it may never panic or
+// read out of bounds.
+
+// TestGeometryRoundTripFuzz creates logs with random geometry, drives
+// random append/snapshot/truncate traffic, crashes, reopens, and
+// requires the reopened log to report the identical geometry and the
+// identical record contents.
+func TestGeometryRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		capacity := 1 + rng.Intn(40)
+		maxOps := 1 + rng.Intn(16)
+		inline := rng.Intn(maxOps + 3) // 0 = default; > maxOps clamps to single-tier
+		pool := pmem.New(RegionBytesInline(capacity, maxOps, inline)+1<<18, nil)
+		l, err := CreateInline(pool, 0, capacity, maxOps, inline)
+		if err != nil {
+			t.Fatalf("trial %d: CreateInline(%d,%d,%d): %v", trial, capacity, maxOps, inline, err)
+		}
+		type entry struct {
+			kind int
+			ops  []spec.Op
+			snap []uint64
+		}
+		live := map[uint64]entry{}
+		head := uint64(0)
+		for step := 0; step < 40; step++ {
+			if rng.Intn(6) == 0 { // snapshot record
+				snap := make([]uint64, 1+rng.Intn(40))
+				for i := range snap {
+					snap[i] = rng.Uint64()
+				}
+				seq, err := l.AppendSnapshot(snap, uint64(step+1))
+				if err == ErrFull {
+					// Compaction semantics: drop everything the snapshot
+					// covers, then retry.
+					if upto := l.NextSeq() - 1; upto > head {
+						if terr := l.Truncate(upto); terr != nil {
+							t.Fatal(terr)
+						}
+						live, head = map[uint64]entry{}, upto
+					}
+					seq, err = l.AppendSnapshot(snap, uint64(step+1))
+				}
+				if err != nil {
+					t.Fatalf("trial %d: snapshot: %v", trial, err)
+				}
+				live[seq] = entry{kind: KindSnapshot, snap: snap}
+				// Truncate behind the snapshot, as compaction does: the
+				// ping-pong snapshot regions only keep the two newest
+				// bodies intact, so older snapshot records must not stay
+				// live.
+				if seq-1 > head {
+					if err := l.Truncate(seq - 1); err != nil {
+						t.Fatal(err)
+					}
+					for s := range live {
+						if s < seq {
+							delete(live, s)
+						}
+					}
+					head = seq - 1
+				}
+				continue
+			}
+			n := 1 + rng.Intn(maxOps)
+			ops := opsOf(n, step+1)
+			seq, err := l.Append(ops, uint64(step+1))
+			switch err {
+			case nil:
+				live[seq] = entry{kind: KindOps, ops: ops}
+			case ErrFull, ErrOvfFull:
+				upto := head + (l.NextSeq()-1-head)/2
+				if upto > head {
+					if terr := l.Truncate(upto); terr != nil {
+						t.Fatal(terr)
+					}
+					for s := range live {
+						if s <= upto {
+							delete(live, s)
+						}
+					}
+					head = upto
+				}
+			default:
+				t.Fatalf("trial %d: append: %v", trial, err)
+			}
+		}
+		pool.Crash(pmem.DropAll)
+		l2, err := Open(pool, 0, l.Base())
+		if err != nil {
+			t.Fatalf("trial %d: reopen: %v", trial, err)
+		}
+		if l2.Capacity() != l.Capacity() || l2.MaxOps() != l.MaxOps() ||
+			l2.InlineOps() != l.InlineOps() || l2.HeadSeq() != l.HeadSeq() ||
+			l2.NextSeq() != l.NextSeq() {
+			t.Fatalf("trial %d: geometry drift: %+v vs %+v", trial, l2, l)
+		}
+		b2, w2 := l2.OverflowRegion()
+		b1, w1 := l.OverflowRegion()
+		if b2 != b1 || w2 != w1 {
+			t.Fatalf("trial %d: overflow region drift", trial)
+		}
+		recs := l2.Records()
+		if len(recs) != len(live) {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(recs), len(live))
+		}
+		for _, rec := range recs {
+			want, ok := live[rec.Seq]
+			if !ok || rec.Kind != want.kind {
+				t.Fatalf("trial %d: unexpected record %+v", trial, rec)
+			}
+			for k := range want.ops {
+				if rec.Ops[k] != want.ops[k] {
+					t.Fatalf("trial %d seq %d: op %d drift", trial, rec.Seq, k)
+				}
+			}
+			for k := range want.snap {
+				if rec.State[k] != want.snap[k] {
+					t.Fatalf("trial %d seq %d: snapshot word %d drift", trial, rec.Seq, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCreateInlineValidation pins the constructor's geometry contract.
+func TestCreateInlineValidation(t *testing.T) {
+	pool := pmem.New(1<<20, nil)
+	if _, err := CreateInline(pool, 0, 8, 4, -1); err == nil {
+		t.Fatal("negative inline budget accepted")
+	}
+	l, err := CreateInline(pool, 0, 8, 4, 9) // clamps to single-tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.InlineOps() != 4 {
+		t.Fatalf("inline budget %d, want clamped 4", l.InlineOps())
+	}
+	if _, w := l.OverflowRegion(); w != 0 {
+		t.Fatalf("single-tier log grew an overflow ring of %d words", w)
+	}
+	l2, err := CreateInline(pool, 0, 8, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.InlineOps() != DefaultInlineOps {
+		t.Fatalf("inline budget %d, want default %d", l2.InlineOps(), DefaultInlineOps)
+	}
+}
+
+// TestOpenRejectsAdversarialGeometry corrupts each geometry word of a
+// valid two-tier header with values that disagree with the recomputed
+// layout: Open must reject every one of them (the slot width and ring
+// width are derived, so a forged header cannot move slots or the ring).
+func TestOpenRejectsAdversarialGeometry(t *testing.T) {
+	build := func() (*pmem.Pool, *Log) {
+		pool, l := newTieredLog(t, 16, 12, 4)
+		for i := 1; i <= 6; i++ {
+			if _, err := l.Append(opsOf(1+i%12, i), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pool.Crash(pmem.DropAll)
+		return pool, l
+	}
+	cases := []struct {
+		word int
+		vals []uint64
+	}{
+		{hdrMagic, []uint64{0, ^uint64(0), logMagic + 1}},
+		{hdrCapacity, []uint64{0, 17, ^uint64(0), 1 << 40}},
+		{hdrSlotW, []uint64{0, 8, 24, 40, ^uint64(0)}},
+		{hdrMaxOps, []uint64{0, 4, 13, ^uint64(0), 1 << 20}},
+		{hdrInlineOps, []uint64{0, 3, 5, 13, ^uint64(0)}},
+		{hdrOvfWords, []uint64{0, 8, 1 << 30, ^uint64(0)}},
+	}
+	for _, c := range cases {
+		for _, v := range c.vals {
+			pool, l := build()
+			corrupt(pool, l.Base()+pmem.Addr(c.word*pmem.WordSize), v)
+			pool.Crash(pmem.DropAll)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("hdr[%d]=%#x: Open panicked: %v", c.word, v, r)
+					}
+				}()
+				if _, err := Open(pool, 0, l.Base()); err == nil {
+					t.Fatalf("hdr[%d]=%#x: Open accepted inconsistent geometry", c.word, v)
+				}
+			}()
+		}
+	}
+}
+
+// TestOverflowDescriptorOutOfRangeRejected forges a spilled record's
+// overflow descriptor — offset past the ring, unaligned offset, wrong
+// length — recomputing the record checksum so only the descriptor
+// validation stands between the forged pointer and an out-of-bounds
+// read. The record must be rejected; Open must not panic.
+func TestOverflowDescriptorOutOfRangeRejected(t *testing.T) {
+	type forge struct {
+		name string
+		off  func(l *Log) uint64 // forged offset value
+		olen func(l *Log) uint64 // forged length value
+	}
+	_, probe := newTieredLog(t, 16, 12, 4)
+	goodLen := uint64(4 * spec.OpWords) // 8-op record, inline 4
+	forges := []forge{
+		{"off-past-ring", func(l *Log) uint64 { return uint64(l.ovfWords) }, func(*Log) uint64 { return goodLen }},
+		{"off-way-out", func(*Log) uint64 { return 1 << 40 }, func(*Log) uint64 { return goodLen }},
+		{"off-max", func(*Log) uint64 { return ^uint64(0) }, func(*Log) uint64 { return goodLen }},
+		{"off-unaligned", func(*Log) uint64 { return 1 }, func(*Log) uint64 { return goodLen }},
+		{"off-end-minus-line", func(l *Log) uint64 { return uint64(l.ovfWords - pmem.LineWords) },
+			func(*Log) uint64 { return goodLen }}, // 20 words from 8 before the end: tail out of range
+		{"len-zero", func(*Log) uint64 { return 0 }, func(*Log) uint64 { return 0 }},
+		{"len-huge", func(*Log) uint64 { return 0 }, func(*Log) uint64 { return 1 << 40 }},
+		{"len-off-by-one-op", func(*Log) uint64 { return 0 }, func(*Log) uint64 { return goodLen - spec.OpWords }},
+	}
+	_ = probe
+	for _, f := range forges {
+		pool, l := newTieredLog(t, 16, 12, 4)
+		if _, err := l.Append(opsOf(8, 1), 1); err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite the descriptor in the slot image and recompute the
+		// record checksum so it verifies.
+		addr := l.slotAddr(1)
+		descBase := 3 + l.inlineOps*spec.OpWords
+		plen := l.inlineOps*spec.OpWords + ovfDescWords
+		words := make([]uint64, 3+plen)
+		for i := range words {
+			words[i] = pool.Load(0, addr+pmem.Addr(i*pmem.WordSize))
+		}
+		words[descBase] = f.off(l)
+		words[descBase+1] = f.olen(l)
+		sum := checksum(words)
+		corrupt(pool, addr+pmem.Addr(descBase*pmem.WordSize), words[descBase])
+		corrupt(pool, addr+pmem.Addr((descBase+1)*pmem.WordSize), words[descBase+1])
+		corrupt(pool, addr+pmem.Addr((3+plen)*pmem.WordSize), sum)
+		pool.Crash(pmem.DropAll)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: panicked: %v", f.name, r)
+				}
+			}()
+			l2, err := Open(pool, 0, l.Base())
+			if err != nil {
+				return // whole-log rejection: acceptable
+			}
+			if recs := l2.Records(); len(recs) != 0 {
+				t.Fatalf("%s: forged descriptor verified: %+v", f.name, recs)
+			}
+		}()
+	}
+}

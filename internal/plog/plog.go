@@ -14,10 +14,35 @@
 // property that matters to the paper — one persistent fence per append —
 // while being implementable on the simulated NVM.
 //
-// Record layout (words), in a fixed-size slot:
+// # Two-tier slots
+//
+// A record must be able to hold the appender's whole fuzzy window, which
+// is bounded only by MAX_PROCESSES (paper Proposition 5.2) — but is a
+// handful of operations in any non-adversarial execution. Sizing every
+// slot for the worst case makes 64-process logs cost 2.6KB per slot.
+// The layout is therefore two-tier: each slot holds up to InlineOps()
+// operations inline, and a record whose op count exceeds that budget
+// spills its tail into a shared per-log overflow ring at the end of the
+// region. The inline part then carries a descriptor {offset, words,
+// checksum} for the tail; the record checksum covers the descriptor, so
+// the tail is transitively covered — a torn overflow write fails the
+// tail checksum and the record is treated as never appended, exactly as
+// a torn inline record would be. Both tiers are flushed before the ONE
+// fence of the append, so durability and recovery semantics are
+// identical to the single-tier layout.
+//
+// Overflow chunks are claimed from a bump ring; a chunk is reusable once
+// no live (non-truncated) record references it. The ring is sized at 1/8
+// of the worst case (every slot spilling a full tail), so the region at
+// 64 processes shrinks ~4.7x; a burst of deep fuzzy windows beyond that
+// budget surfaces as ErrOvfFull (truncate/compact, then retry), never as
+// corruption.
+//
+// Record layout (words), in a fixed-size inline slot:
 //
 //	[0] seq        monotonically increasing per log, 1-based
-//	[1] kind<<32 | numOps (kind: ops record or snapshot record)
+//	[1] kind<<32 | field (field: payload words, or total ops for
+//	               overflow records)
 //	[2] executionIndex
 //	[3...] payload:
 //	       ops record:      numOps operations, spec.OpWords words each;
@@ -25,6 +50,10 @@
 //	                        the given executionIndex, ops[k] is the
 //	                        helped operation with index executionIndex-k
 //	                        (paper Listing 1).
+//	       overflow ops:    InlineOps() operations followed by the tail
+//	                        descriptor {ovfOffsetWords, ovfWords,
+//	                        ovfChecksum}; the remaining ops live at
+//	                        overflow-ring offset ovfOffsetWords.
 //	       snapshot record: {regionAddr, regionWords, regionChecksum}
 //	[3+payload] checksum over words [0, 3+payload)
 //
@@ -46,27 +75,60 @@ import (
 const (
 	KindOps      = 1 // a batch of operations (paper Listing 1)
 	KindSnapshot = 2 // an object-state snapshot (paper Section 8)
+	// kindOpsOvf is the wire kind of an ops record whose tail spilled
+	// into the overflow ring. Decoded Records normalize it to KindOps
+	// (with Overflow set), so readers never care about the split.
+	kindOpsOvf = 3
 )
 
-// Header layout (one cache line at the region base).
+// Header layout (one cache line at the region base). The final word
+// checksums the preceding seven, so a corrupted geometry word is caught
+// even when it happens to describe a self-consistent layout. headSeq
+// and the checksum are adjacent: Truncate rewrites exactly those two
+// words in one StoreLine, which the simulated cache evicts all-or-
+// nothing, so a crash can never expose a header whose checksum lags
+// its head pointer.
 const (
-	hdrMagic    = 0 // word offsets within the header
-	hdrCapacity = 1
-	hdrSlotW    = 2
-	hdrMaxOps   = 3
-	hdrHeadSeq  = 4
-	hdrWords    = pmem.LineWords
+	hdrMagic     = 0 // word offsets within the header
+	hdrCapacity  = 1
+	hdrSlotW     = 2
+	hdrMaxOps    = 3
+	hdrInlineOps = 4
+	hdrOvfWords  = 5
+	hdrHeadSeq   = 6
+	hdrSum       = 7
+	hdrWords     = pmem.LineWords
 )
 
 const logMagic = 0x504c4f4721 // "PLOG!"
 
+// DefaultInlineOps is the default per-slot inline op budget of the
+// two-tier layout: the common-case fuzzy window (the appender's own op
+// plus a few delayed neighbours). Records with more ops spill their
+// tail to the overflow ring.
+const DefaultInlineOps = 4
+
+// ovfDescWords is the inline overflow descriptor: {offsetWords, words,
+// checksum}.
+const ovfDescWords = 3
+
 // Errors.
 var (
 	ErrFull     = errors.New("plog: log full (truncate before appending more)")
+	ErrOvfFull  = errors.New("plog: overflow ring full (truncate before appending more)")
 	ErrTooMany  = errors.New("plog: too many operations for one record")
 	ErrCorrupt  = errors.New("plog: corrupt log header")
 	ErrSnapSize = errors.New("plog: snapshot larger than its region")
 )
+
+// ovfRef is one live overflow chunk: the record that owns it and the
+// claimed span (offset and exact words; reuse rounds the end up to a
+// whole line, matching allocation).
+type ovfRef struct {
+	seq   uint64
+	off   int // words from the ring base, line-aligned
+	words int // exact tail words
+}
 
 // Log is one process's persistent log inside a pmem.Pool. A Log is owned
 // by a single process: Append/Truncate must not be called concurrently
@@ -76,9 +138,20 @@ type Log struct {
 	pid  int
 	base pmem.Addr
 
-	capacity int // slots
-	slotW    int // words per slot
-	maxOps   int
+	capacity  int // slots
+	slotW     int // words per inline slot (line-aligned)
+	maxOps    int
+	inlineOps int
+
+	// Overflow ring geometry (derived from the header; zero-width when
+	// the inline budget covers maxOps).
+	ovfBase  pmem.Addr
+	ovfWords int
+
+	// Volatile overflow-ring state, rebuilt by Open from the live
+	// records: the bump pointer and the chunks still referenced.
+	ovfNext int
+	ovfLive []ovfRef
 
 	nextSeq uint64 // volatile mirrors; durable info is in records + header
 	headSeq uint64
@@ -91,56 +164,153 @@ type Log struct {
 
 	// Encoding scratch, reused across appends (a Log is owned by one
 	// process, so appends never overlap): steady-state Append is
-	// allocation-free once both buffers reach the record size.
-	encBuf []uint64 // Append payload
+	// allocation-free once the buffers reach the record size.
+	encBuf []uint64 // Append inline payload
+	ovfBuf []uint64 // Append overflow tail
 	recBuf []uint64 // appendRecord slot image
 }
 
-// SlotWords returns the number of words per record slot for a log that
-// can hold up to maxOps operations per record.
-func SlotWords(maxOps int) int {
-	payload := maxOps * spec.OpWords
+// normInline resolves an inline-budget request against maxOps: zero
+// selects the default, and a budget at or above maxOps degenerates to
+// the single-tier layout (everything inline, no overflow ring).
+func normInline(maxOps, inlineOps int) int {
+	if inlineOps == 0 {
+		inlineOps = DefaultInlineOps
+	}
+	if inlineOps > maxOps {
+		inlineOps = maxOps
+	}
+	return inlineOps
+}
+
+// alignLineWords rounds w up to whole cache lines.
+func alignLineWords(w int) int {
+	return (w + pmem.LineWords - 1) / pmem.LineWords * pmem.LineWords
+}
+
+// slotWordsInline returns the unaligned words per inline slot for the
+// given geometry.
+func slotWordsInline(maxOps, inlineOps int) int {
+	var payload int
+	if inlineOps >= maxOps {
+		payload = maxOps * spec.OpWords
+	} else {
+		payload = inlineOps*spec.OpWords + ovfDescWords
+	}
 	if payload < 3 { // snapshot payload
 		payload = 3
 	}
 	return 3 + payload + 1
 }
 
+// SlotWords returns the words per record slot of a single-tier layout
+// holding up to maxOps operations inline — the slot formula when the
+// inline budget covers maxOps, and the baseline the two-tier footprint
+// is compared against.
+func SlotWords(maxOps int) int {
+	return slotWordsInline(maxOps, maxOps)
+}
+
+// ovfChunkWords is the worst-case overflow tail of one record
+// (line-aligned, so chunks never share a line and a torn line damages
+// at most one record).
+func ovfChunkWords(maxOps, inlineOps int) int {
+	if inlineOps >= maxOps {
+		return 0
+	}
+	return alignLineWords((maxOps - inlineOps) * spec.OpWords)
+}
+
+// ovfRegionWords sizes the shared overflow ring: an eighth of the worst
+// case (every live slot spilling a full tail), floored at four full
+// chunks so tiny logs keep headroom for a burst of deep fuzzy windows.
+func ovfRegionWords(capacity, maxOps, inlineOps int) int {
+	chunk := ovfChunkWords(maxOps, inlineOps)
+	if chunk == 0 {
+		return 0
+	}
+	w := capacity * chunk / 8
+	if min := 4 * chunk; w < min {
+		w = min
+	}
+	return alignLineWords(w)
+}
+
 // RegionBytes returns the pool bytes needed for a log with the given
-// geometry (header line + capacity slots, line-aligned).
+// geometry and the default inline budget (header line + capacity inline
+// slots + the overflow ring, line-aligned).
 func RegionBytes(capacity, maxOps int) int {
-	slotBytes := SlotWords(maxOps) * pmem.WordSize
-	slotBytes = (slotBytes + pmem.LineSize - 1) / pmem.LineSize * pmem.LineSize
+	return RegionBytesInline(capacity, maxOps, 0)
+}
+
+// RegionBytesInline is RegionBytes for an explicit inline op budget
+// (0 = DefaultInlineOps; >= maxOps = single-tier).
+func RegionBytesInline(capacity, maxOps, inlineOps int) int {
+	inlineOps = normInline(maxOps, inlineOps)
+	slotBytes := alignLineWords(slotWordsInline(maxOps, inlineOps)) * pmem.WordSize
+	return pmem.LineSize + capacity*slotBytes +
+		ovfRegionWords(capacity, maxOps, inlineOps)*pmem.WordSize
+}
+
+// SingleTierRegionBytes returns the bytes the retired single-tier
+// layout (every slot sized for the full maxOps window) would need.
+// Kept as the footprint baseline for EXPERIMENTS.md and the benchmark
+// artifact.
+func SingleTierRegionBytes(capacity, maxOps int) int {
+	slotBytes := alignLineWords(SlotWords(maxOps)) * pmem.WordSize
 	return pmem.LineSize + capacity*slotBytes
 }
 
 // Create formats a new log for process pid at a freshly allocated region
-// of pool and durably writes its header. capacity is the number of record
-// slots; maxOps bounds operations per record (paper: MAX_PROCESSES).
+// of pool and durably writes its header, using the default inline
+// budget. capacity is the number of record slots; maxOps bounds
+// operations per record (paper: MAX_PROCESSES).
 func Create(pool *pmem.Pool, pid, capacity, maxOps int) (*Log, error) {
-	if capacity < 1 || maxOps < 1 {
-		return nil, fmt.Errorf("plog: bad geometry capacity=%d maxOps=%d", capacity, maxOps)
+	return CreateInline(pool, pid, capacity, maxOps, 0)
+}
+
+// CreateInline is Create with an explicit inline op budget: records
+// with at most inlineOps operations live entirely in their slot, larger
+// records spill their tail to the overflow ring. inlineOps 0 selects
+// DefaultInlineOps; inlineOps >= maxOps selects the single-tier layout.
+func CreateInline(pool *pmem.Pool, pid, capacity, maxOps, inlineOps int) (*Log, error) {
+	if capacity < 1 || maxOps < 1 || inlineOps < 0 {
+		return nil, fmt.Errorf("plog: bad geometry capacity=%d maxOps=%d inlineOps=%d",
+			capacity, maxOps, inlineOps)
 	}
-	base, err := pool.Alloc(RegionBytes(capacity, maxOps))
+	inlineOps = normInline(maxOps, inlineOps)
+	base, err := pool.Alloc(RegionBytesInline(capacity, maxOps, inlineOps))
 	if err != nil {
 		return nil, err
 	}
 	l := &Log{
 		pool: pool, pid: pid, base: base,
-		capacity: capacity, slotW: slotWordsAligned(maxOps), maxOps: maxOps,
+		capacity: capacity, maxOps: maxOps, inlineOps: inlineOps,
+		slotW:   alignLineWords(slotWordsInline(maxOps, inlineOps)),
 		nextSeq: 1, headSeq: 0,
 	}
-	hdr := []uint64{logMagic, uint64(capacity), uint64(l.slotW), uint64(maxOps), 0}
-	pool.StoreRange(pid, base, hdr)
+	l.ovfWords = ovfRegionWords(capacity, maxOps, inlineOps)
+	l.ovfBase = l.base + pmem.Addr(hdrWords*pmem.WordSize) +
+		pmem.Addr(capacity*l.slotW*pmem.WordSize)
+	hdr := l.headerImage(0)
+	pool.StoreRange(pid, base, hdr[:])
 	pool.Persist(pid, base, hdrWords*pmem.WordSize)
 	return l, nil
 }
 
-// slotWordsAligned rounds the slot up to whole cache lines so records
-// never share a line (a torn line can then damage at most one record).
-func slotWordsAligned(maxOps int) int {
-	w := SlotWords(maxOps)
-	return (w + pmem.LineWords - 1) / pmem.LineWords * pmem.LineWords
+// headerImage builds the durable header for the log's geometry with the
+// given truncation point, including the trailing checksum.
+func (l *Log) headerImage(headSeq uint64) [hdrWords]uint64 {
+	var h [hdrWords]uint64
+	h[hdrMagic] = logMagic
+	h[hdrCapacity] = uint64(l.capacity)
+	h[hdrSlotW] = uint64(l.slotW)
+	h[hdrMaxOps] = uint64(l.maxOps)
+	h[hdrInlineOps] = uint64(l.inlineOps)
+	h[hdrOvfWords] = uint64(l.ovfWords)
+	h[hdrHeadSeq] = headSeq
+	h[hdrSum] = checksum(h[:hdrSum])
+	return h
 }
 
 // Plausibility bounds on header geometry read from (possibly corrupt)
@@ -158,7 +328,11 @@ const (
 //
 // Everything Open reads — the base pointer handed in (typically from a
 // root slot) and the header geometry — is untrusted: a corrupted image
-// must produce ErrCorrupt, never an out-of-bounds panic.
+// must produce ErrCorrupt, never an out-of-bounds panic. The slot width
+// and overflow-ring width are recomputed from (capacity, maxOps,
+// inlineOps) and must match the stored words exactly, so a corrupted
+// geometry cannot frame slots or overflow chunks at attacker-chosen
+// addresses.
 func Open(pool *pmem.Pool, pid int, base pmem.Addr) (*Log, error) {
 	if !pool.Contains(base, hdrWords*pmem.WordSize) {
 		return nil, ErrCorrupt
@@ -167,27 +341,52 @@ func Open(pool *pmem.Pool, pid int, base pmem.Addr) (*Log, error) {
 	if rd(hdrMagic) != logMagic {
 		return nil, ErrCorrupt
 	}
-	if rd(hdrCapacity) > maxPlausibleCapacity || rd(hdrMaxOps) > maxPlausibleOps {
+	var hdr [hdrWords]uint64
+	for i := range hdr {
+		hdr[i] = rd(i)
+	}
+	if hdr[hdrSum] != checksum(hdr[:hdrSum]) {
+		return nil, ErrCorrupt
+	}
+	if hdr[hdrCapacity] > maxPlausibleCapacity || hdr[hdrMaxOps] > maxPlausibleOps ||
+		hdr[hdrInlineOps] > maxPlausibleOps || hdr[hdrSlotW] > maxPlausibleCapacity ||
+		hdr[hdrOvfWords] > maxPlausibleCapacity {
 		return nil, ErrCorrupt
 	}
 	l := &Log{
 		pool: pool, pid: pid, base: base,
-		capacity: int(rd(hdrCapacity)),
-		slotW:    int(rd(hdrSlotW)),
-		maxOps:   int(rd(hdrMaxOps)),
-		headSeq:  rd(hdrHeadSeq),
+		capacity:  int(hdr[hdrCapacity]),
+		slotW:     int(hdr[hdrSlotW]),
+		maxOps:    int(hdr[hdrMaxOps]),
+		inlineOps: int(hdr[hdrInlineOps]),
+		ovfWords:  int(hdr[hdrOvfWords]),
+		headSeq:   hdr[hdrHeadSeq],
 	}
-	if l.capacity < 1 || l.slotW < SlotWords(1) || l.maxOps < 1 ||
-		l.slotW != slotWordsAligned(l.maxOps) {
+	if l.capacity < 1 || l.maxOps < 1 || l.inlineOps < 1 || l.inlineOps > l.maxOps {
 		return nil, ErrCorrupt
 	}
-	if !pool.Contains(base, RegionBytes(l.capacity, l.maxOps)) {
+	if l.slotW != alignLineWords(slotWordsInline(l.maxOps, l.inlineOps)) ||
+		l.ovfWords != ovfRegionWords(l.capacity, l.maxOps, l.inlineOps) {
 		return nil, ErrCorrupt
 	}
+	if !pool.Contains(base, RegionBytesInline(l.capacity, l.maxOps, l.inlineOps)) {
+		return nil, ErrCorrupt
+	}
+	l.ovfBase = l.base + pmem.Addr(hdrWords*pmem.WordSize) +
+		pmem.Addr(l.capacity*l.slotW*pmem.WordSize)
 	recs := l.scan()
 	l.nextSeq = l.headSeq + 1
 	if n := len(recs); n > 0 {
 		l.nextSeq = recs[n-1].Seq + 1
+	}
+	// Rebuild the volatile overflow-ring state from the live records:
+	// their chunks are in use, and the bump pointer resumes after the
+	// newest one.
+	for _, rec := range recs {
+		if rec.Overflow {
+			l.ovfLive = append(l.ovfLive, ovfRef{seq: rec.Seq, off: rec.ovfOff, words: rec.ovfLen})
+			l.ovfNext = rec.ovfOff + alignLineWords(rec.ovfLen)
+		}
 	}
 	return l, nil
 }
@@ -201,6 +400,15 @@ func (l *Log) Capacity() int { return l.capacity }
 
 // MaxOps returns the per-record operation bound.
 func (l *Log) MaxOps() int { return l.maxOps }
+
+// InlineOps returns the per-slot inline op budget; records with more
+// operations spill their tail to the overflow ring.
+func (l *Log) InlineOps() int { return l.inlineOps }
+
+// OverflowRegion returns the overflow ring's base address and size in
+// words (0 words for a single-tier log). Diagnostics and corruption
+// tests use it; production code has no reason to.
+func (l *Log) OverflowRegion() (pmem.Addr, int) { return l.ovfBase, l.ovfWords }
 
 // Len returns the number of live (non-truncated) records.
 func (l *Log) Len() int { return int(l.nextSeq - 1 - l.headSeq) }
@@ -233,20 +441,86 @@ func checksum(words []uint64) uint64 {
 	return h
 }
 
+// claimOvf reserves words from the overflow ring for the record about
+// to be appended, returning the line-aligned offset. It tries the bump
+// pointer first (the steady-state hit), then the ring base and the
+// position after each live chunk — every maximal free gap starts at
+// one of those — so it fails only when no gap fits the tail: the ring
+// equivalent of ErrFull.
+func (l *Log) claimOvf(words int) (int, bool) {
+	n := alignLineWords(words)
+	fits := func(start int) bool {
+		if start < 0 || start+n > l.ovfWords {
+			return false
+		}
+		for _, r := range l.ovfLive {
+			rEnd := r.off + alignLineWords(r.words)
+			if start < rEnd && r.off < start+n {
+				return false
+			}
+		}
+		return true
+	}
+	if fits(l.ovfNext) {
+		return l.ovfNext, true
+	}
+	if fits(0) {
+		return 0, true
+	}
+	for _, r := range l.ovfLive {
+		if s := r.off + alignLineWords(r.words); fits(s) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Append durably records ops (ops[0] being the appender's own operation
 // with the given execution index; ops[k] the helped operation with index
-// execIdx-k) using exactly one persistent fence. It returns the record's
-// sequence number.
+// execIdx-k) using exactly one persistent fence — for inline records and
+// for records that spill to the overflow ring alike. It returns the
+// record's sequence number.
 func (l *Log) Append(ops []spec.Op, execIdx uint64) (uint64, error) {
 	if len(ops) == 0 || len(ops) > l.maxOps {
 		return 0, ErrTooMany
 	}
 	payload := l.encBuf[:0]
-	for _, op := range ops {
+	if len(ops) <= l.inlineOps {
+		for _, op := range ops {
+			payload = op.Encode(payload)
+		}
+		l.encBuf = payload
+		return l.appendRecord(KindOps, uint64(len(payload)), execIdx, payload)
+	}
+	// Two-tier: the tail beyond the inline budget goes to the overflow
+	// ring. Claim a chunk, write and flush it (NOT fenced yet), then
+	// append the inline record whose single fence covers both tiers.
+	if int(l.nextSeq-1-l.headSeq) >= l.capacity {
+		return 0, ErrFull
+	}
+	tail := l.ovfBuf[:0]
+	for _, op := range ops[l.inlineOps:] {
+		tail = op.Encode(tail)
+	}
+	l.ovfBuf = tail
+	off, ok := l.claimOvf(len(tail))
+	if !ok {
+		return 0, ErrOvfFull
+	}
+	addr := l.ovfBase + pmem.Addr(off*pmem.WordSize)
+	l.pool.StoreRange(l.pid, addr, tail)
+	l.pool.FlushRange(l.pid, addr, len(tail)*pmem.WordSize)
+	for _, op := range ops[:l.inlineOps] {
 		payload = op.Encode(payload)
 	}
+	payload = append(payload, uint64(off), uint64(len(tail)), checksum(tail))
 	l.encBuf = payload
-	return l.appendRecord(KindOps, execIdx, payload)
+	seq, err := l.appendRecord(kindOpsOvf, uint64(len(ops)), execIdx, payload)
+	if err == nil {
+		l.ovfLive = append(l.ovfLive, ovfRef{seq: seq, off: off, words: len(tail)})
+		l.ovfNext = off + alignLineWords(len(tail))
+	}
+	return seq, err
 }
 
 // AppendSnapshot durably records a state snapshot taken at execution
@@ -275,46 +549,37 @@ func (l *Log) AppendSnapshot(state []uint64, execIdx uint64) (uint64, error) {
 	// (the region is line-aligned by Alloc).
 	l.pool.StoreRange(l.pid, region, state)
 	// Flush the region lines now; the record's fence will cover them.
-	l.flushRange(region, len(state)*pmem.WordSize)
+	l.pool.FlushRange(l.pid, region, len(state)*pmem.WordSize)
 	payload := []uint64{uint64(region), uint64(len(state)), checksum(state)}
-	seq, err := l.appendRecord(KindSnapshot, execIdx, payload)
+	seq, err := l.appendRecord(KindSnapshot, uint64(len(payload)), execIdx, payload)
 	if err == nil {
 		l.snapNext = 1 - k
 	}
 	return seq, err
 }
 
-// flushRange issues (unordered, async) flushes for every line overlapping
-// [addr, addr+size) WITHOUT fencing.
-func (l *Log) flushRange(addr pmem.Addr, size int) {
-	if size <= 0 {
-		return
-	}
-	first := addr.Line()
-	last := pmem.Addr(uint64(addr) + uint64(size) - 1).Line()
-	for li := first; li <= last; li++ {
-		l.pool.Flush(l.pid, pmem.Addr(li*pmem.LineSize))
-	}
-}
-
-func (l *Log) appendRecord(kind int, execIdx uint64, payload []uint64) (uint64, error) {
+// appendRecord writes the inline slot image [seq, kind<<32|field,
+// execIdx, payload..., checksum] and makes it durable with THE one
+// persistent fence of the append (which also covers any overflow or
+// snapshot lines flushed by the caller beforehand).
+func (l *Log) appendRecord(kind int, field, execIdx uint64, payload []uint64) (uint64, error) {
 	if int(l.nextSeq-1-l.headSeq) >= l.capacity {
 		return 0, ErrFull
 	}
 	seq := l.nextSeq
 	words := l.recBuf[:0]
-	words = append(words, seq, uint64(kind)<<32|uint64(len(payload)), execIdx)
+	words = append(words, seq, uint64(kind)<<32|field, execIdx)
 	words = append(words, payload...)
 	words = append(words, checksum(words))
 	l.recBuf = words
 	addr := l.slotAddr(seq)
-	// Record writes are line-batched: slots are line-aligned (see
-	// slotWordsAligned), so each StoreLine inside costs one gate check,
-	// one shard lock and one stat bump per cache line instead of one per
-	// word. Durability is untouched — the lines stay volatile until the
-	// flushes below and the single fence that follows.
+	// Record writes are line-batched: slots are line-aligned, so each
+	// StoreLine inside costs one gate check, one shard lock and one stat
+	// bump per cache line instead of one per word. Durability is
+	// untouched — the lines stay volatile until the flushes below and
+	// the single fence that follows.
 	l.pool.StoreRange(l.pid, addr, words)
-	l.flushRange(addr, len(words)*pmem.WordSize)
+	l.pool.FlushRange(l.pid, addr, len(words)*pmem.WordSize)
 	// THE one persistent fence of this append (and, in the universal
 	// construction, the one persistent fence of the whole update).
 	l.pool.Fence(l.pid)
@@ -324,7 +589,8 @@ func (l *Log) appendRecord(kind int, execIdx uint64, payload []uint64) (uint64, 
 
 // Truncate durably drops all records with seq <= upto (they must exist).
 // It costs one persistent fence (the price of reclamation, measured by
-// experiment E9).
+// experiment E9). Overflow chunks owned by dropped records become
+// reusable.
 func (l *Log) Truncate(upto uint64) error {
 	if upto < l.headSeq || upto >= l.nextSeq {
 		return fmt.Errorf("plog: truncate %d outside live range (%d, %d)", upto, l.headSeq, l.nextSeq-1)
@@ -333,9 +599,20 @@ func (l *Log) Truncate(upto uint64) error {
 		return nil
 	}
 	l.headSeq = upto
+	keep := l.ovfLive[:0]
+	for _, r := range l.ovfLive {
+		if r.seq > upto {
+			keep = append(keep, r)
+		}
+	}
+	l.ovfLive = keep
+	// Rewrite headSeq and the header checksum together: they are
+	// adjacent words of one line, so the single StoreRange below is one
+	// StoreLine — evicted and persisted all-or-nothing.
+	img := l.headerImage(upto)
 	a := l.base + pmem.Addr(hdrHeadSeq*pmem.WordSize)
-	l.pool.Store(l.pid, a, upto)
-	l.pool.Persist(l.pid, a, pmem.WordSize)
+	l.pool.StoreRange(l.pid, a, img[hdrHeadSeq:])
+	l.pool.Persist(l.pid, a, 2*pmem.WordSize)
 	return nil
 }
 
@@ -349,10 +626,24 @@ type Record struct {
 	Ops []spec.Op
 	// State is populated for KindSnapshot records.
 	State []uint64
+	// Overflow reports that the record's tail lived in the overflow
+	// ring (the decoded Ops are complete either way).
+	Overflow bool
+
+	ovfOff, ovfLen int // claimed span, when Overflow
+}
+
+// OverflowSpan returns the record's overflow chunk as (offset, words)
+// within the log's overflow ring, and whether the record spilled at
+// all. Corruption tests use it to aim at a specific chunk.
+func (r *Record) OverflowSpan() (off, words int, ok bool) {
+	return r.ovfOff, r.ovfLen, r.Overflow
 }
 
 // readSlot validates and decodes the record in the slot that seq maps to,
-// requiring the stored seq to equal seq exactly.
+// requiring the stored seq to equal seq exactly. Every word it consumes
+// — the kind/field word, overflow descriptors, snapshot pointers — comes
+// from (possibly torn or corrupted) NVM and is validated before use.
 func (l *Log) readSlot(seq uint64) (Record, bool) {
 	addr := l.slotAddr(seq)
 	rd := func(i int) uint64 { return l.pool.Load(l.pid, addr+pmem.Addr(i*pmem.WordSize)) }
@@ -360,8 +651,33 @@ func (l *Log) readSlot(seq uint64) (Record, bool) {
 		return Record{}, false
 	}
 	kn := rd(1)
-	kind, plen := int(kn>>32), int(kn&0xffffffff)
-	if (kind != KindOps && kind != KindSnapshot) || plen < 0 || 3+plen+1 > l.slotW {
+	kind, field := int(kn>>32), int(kn&0xffffffff)
+	var plen, nops int
+	switch kind {
+	case KindOps:
+		plen = field
+		if plen <= 0 || plen%spec.OpWords != 0 {
+			return Record{}, false
+		}
+		nops = plen / spec.OpWords
+		if nops > l.inlineOps || nops > l.maxOps {
+			return Record{}, false
+		}
+	case kindOpsOvf:
+		nops = field
+		if nops <= l.inlineOps || nops > l.maxOps {
+			return Record{}, false
+		}
+		plen = l.inlineOps*spec.OpWords + ovfDescWords
+	case KindSnapshot:
+		plen = field
+		if plen != 3 {
+			return Record{}, false
+		}
+	default:
+		return Record{}, false
+	}
+	if 3+plen+1 > l.slotW {
 		return Record{}, false
 	}
 	words := make([]uint64, 3+plen)
@@ -374,20 +690,40 @@ func (l *Log) readSlot(seq uint64) (Record, bool) {
 	rec := Record{Seq: seq, Kind: kind, ExecIdx: words[2]}
 	switch kind {
 	case KindOps:
-		if plen%spec.OpWords != 0 {
-			return Record{}, false
-		}
-		n := plen / spec.OpWords
-		if n == 0 || n > l.maxOps {
-			return Record{}, false
-		}
-		for k := 0; k < n; k++ {
+		for k := 0; k < nops; k++ {
 			rec.Ops = append(rec.Ops, spec.DecodeOp(words[3+k*spec.OpWords:]))
 		}
-	case KindSnapshot:
-		if plen != 3 {
+	case kindOpsOvf:
+		// The descriptor is covered by the record checksum, but its
+		// values are still untrusted geometry: the offset must frame a
+		// chunk inside the ring and the length is fixed by the op count.
+		d := words[3+l.inlineOps*spec.OpWords:]
+		off64, olen64, sum := d[0], d[1], d[2]
+		wantLen := (nops - l.inlineOps) * spec.OpWords
+		if olen64 != uint64(wantLen) || off64 > uint64(l.ovfWords) {
 			return Record{}, false
 		}
+		off := int(off64)
+		if off%pmem.LineWords != 0 || off+wantLen > l.ovfWords {
+			return Record{}, false
+		}
+		tail := make([]uint64, wantLen)
+		for i := range tail {
+			tail[i] = l.pool.Load(l.pid, l.ovfBase+pmem.Addr((off+i)*pmem.WordSize))
+		}
+		if checksum(tail) != sum {
+			return Record{}, false // torn overflow tail: record never appended
+		}
+		for k := 0; k < l.inlineOps; k++ {
+			rec.Ops = append(rec.Ops, spec.DecodeOp(words[3+k*spec.OpWords:]))
+		}
+		for k := 0; k < nops-l.inlineOps; k++ {
+			rec.Ops = append(rec.Ops, spec.DecodeOp(tail[k*spec.OpWords:]))
+		}
+		rec.Kind = KindOps
+		rec.Overflow = true
+		rec.ovfOff, rec.ovfLen = off, wantLen
+	case KindSnapshot:
 		region, n, sum := pmem.Addr(words[3]), int(words[4]), words[5]
 		// The pointer and length come from (possibly torn) NVM:
 		// validate them before dereferencing.

@@ -122,7 +122,7 @@ func TestTornAppendIsInvisible(t *testing.T) {
 	for i, w := range words {
 		pool.Store(0, addr+pmem.Addr(i*pmem.WordSize), w)
 	}
-	l.flushRange(addr, len(words)*pmem.WordSize)
+	pool.FlushRange(0, addr, len(words)*pmem.WordSize)
 	// no fence
 	pool.Crash(pmem.DropAll)
 	l2, err := Open(pool, 0, l.Base())
@@ -136,11 +136,13 @@ func TestTornAppendIsInvisible(t *testing.T) {
 
 func TestTornAppendPartialLinesRejected(t *testing.T) {
 	// If only SOME lines of a multi-line record reach NVM (random
-	// oracle), the checksum must reject the record.
+	// oracle), the checksum must reject the record. Stage a record at
+	// the full inline budget so the slot image spans several lines.
 	for seed := uint64(1); seed <= 16; seed++ {
-		pool, l := newLog(t, 16, 8) // 8 ops -> multi-line slots
+		pool, l := newLog(t, 16, 8)
+		nops := l.InlineOps() // 4: a 24-word, 3-line slot image
 		var ops []spec.Op
-		for i := 0; i < 8; i++ {
+		for i := 0; i < nops; i++ {
 			ops = append(ops, op(uint64(i+1), uint64(i+1)))
 		}
 		seq := l.NextSeq()
@@ -154,7 +156,7 @@ func TestTornAppendPartialLinesRejected(t *testing.T) {
 		for i, w := range words {
 			pool.Store(0, addr+pmem.Addr(i*pmem.WordSize), w)
 		}
-		l.flushRange(addr, len(words)*pmem.WordSize)
+		pool.FlushRange(0, addr, len(words)*pmem.WordSize)
 		pool.Crash(pmem.SeededOracle(seed, 1, 2)) // half the lines survive
 		l2, err := Open(pool, 0, l.Base())
 		if err != nil {
@@ -163,7 +165,7 @@ func TestTornAppendPartialLinesRejected(t *testing.T) {
 		recs := l2.Records()
 		// Either fully survived (all lines lucky) or fully invisible.
 		if len(recs) == 1 {
-			if len(recs[0].Ops) != 8 {
+			if len(recs[0].Ops) != nops {
 				t.Fatalf("seed %d: partial record surfaced: %+v", seed, recs[0])
 			}
 			for k := range ops {

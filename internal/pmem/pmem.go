@@ -506,10 +506,12 @@ func (p *Pool) Fence(pid int) {
 	pp.entries = pp.entries[:0]
 }
 
-// Persist is the common flush-range-then-fence idiom: it flushes every
-// line overlapping [addr, addr+size) and issues one fence. It is exactly
-// one persistent fence when the range was dirty.
-func (p *Pool) Persist(pid int, addr Addr, size int) {
+// FlushRange issues asynchronous, unordered write-backs for every line
+// overlapping [addr, addr+size) WITHOUT fencing. Multi-line structures
+// split across tiers (log slots plus their overflow chunks, snapshot
+// regions) flush all of their lines this way and then pay for a single
+// fence covering the whole batch.
+func (p *Pool) FlushRange(pid int, addr Addr, size int) {
 	if size <= 0 {
 		return
 	}
@@ -518,6 +520,16 @@ func (p *Pool) Persist(pid int, addr Addr, size int) {
 	for li := first; li <= last; li++ {
 		p.Flush(pid, Addr(li*LineSize))
 	}
+}
+
+// Persist is the common flush-range-then-fence idiom: it flushes every
+// line overlapping [addr, addr+size) and issues one fence. It is exactly
+// one persistent fence when the range was dirty.
+func (p *Pool) Persist(pid int, addr Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	p.FlushRange(pid, addr, size)
 	p.Fence(pid)
 }
 

@@ -146,6 +146,25 @@ func (y *YCSB) UpdatePct() int {
 	}
 }
 
+// Preload populates the ordered map with the workload's whole key
+// space (as YCSB loads its dataset before measuring) through h, so
+// read-heavy mixes measure lookups against a populated index rather
+// than misses on an empty one. Both throughput harnesses
+// (BenchmarkThroughputYCSB and `onllbench -exp et`) load through this
+// one function so their datasets can never diverge.
+func (y *YCSB) Preload(h Handle) error {
+	space := y.KeySpace
+	if space == 0 {
+		space = 1024
+	}
+	for k := uint64(1); k <= space; k++ {
+		if _, _, err := h.Update(objects.OMapPut, k, k*7); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Streams returns one deterministic stream of per steps for each of
 // nprocs processes (seeded per process), plus the total update count —
 // the shared driver setup for the throughput suites.

@@ -108,42 +108,53 @@ func BenchmarkThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkThroughputYCSB drives the YCSB-A keyed mix (50/50 zipfian
-// get/put) against the ordered map — the index-tree-shaped object — at
-// each scaling point. It exercises the dense ordered-map state under a
-// skewed keyed workload rather than the counter's single hot word.
+// BenchmarkThroughputYCSB drives the four YCSB mixes (zipfian keys over
+// the ordered map — the index-tree-shaped object) at each scaling
+// point: A = 50/50 get/put, B = 95/5 read-mostly, C = read-only, E =
+// order queries (floor/ceil/select) plus inserts. The map is preloaded
+// with the key space, as YCSB loads its dataset, so read-heavy mixes
+// hit a populated index. `onllbench -exp et` records the same four
+// mixes into BENCH_throughput.json.
 func BenchmarkThroughputYCSB(b *testing.B) {
-	for _, nprocs := range throughputProcs {
-		b.Run(fmt.Sprintf("ycsba_p%d", nprocs), func(b *testing.B) {
-			pool := pmem.New(throughputPoolSize(nprocs), nil)
-			in, err := core.New(pool, objects.OrderedMapSpec{}, throughputConfig(nprocs))
-			if err != nil {
-				b.Fatal(err)
-			}
-			y := workload.NewYCSB(workload.YCSBA)
-			per := b.N/nprocs + 1
-			streams, updates := y.Streams(nprocs, per)
-			pool.ResetStats()
-			b.ReportAllocs()
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for pid := 0; pid < nprocs; pid++ {
-				wg.Add(1)
-				go func(pid int) {
-					defer wg.Done()
-					if err := workload.RunSteps(in.Handle(pid), streams[pid]); err != nil {
-						panic(err)
-					}
-				}(pid)
-			}
-			wg.Wait()
-			b.StopTimer()
-			tot := pool.TotalStats()
-			b.ReportMetric(float64(per*nprocs)/b.Elapsed().Seconds(), "ops/sec")
-			if updates > 0 {
-				b.ReportMetric(float64(tot.PersistentFences)/float64(updates), "pfences/op")
-			}
-		})
+	mixes := []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBE}
+	for _, mix := range mixes {
+		for _, nprocs := range throughputProcs {
+			b.Run(fmt.Sprintf("%s_p%d", mix, nprocs), func(b *testing.B) {
+				pool := pmem.New(throughputPoolSize(nprocs), nil)
+				in, err := core.New(pool, objects.OrderedMapSpec{}, throughputConfig(nprocs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				y := workload.NewYCSB(mix)
+				if err := y.Preload(in.Handle(0)); err != nil {
+					b.Fatal(err)
+				}
+				per := b.N/nprocs + 1
+				streams, updates := y.Streams(nprocs, per)
+				pool.ResetStats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for pid := 0; pid < nprocs; pid++ {
+					wg.Add(1)
+					go func(pid int) {
+						defer wg.Done()
+						if err := workload.RunSteps(in.Handle(pid), streams[pid]); err != nil {
+							panic(err)
+						}
+					}(pid)
+				}
+				wg.Wait()
+				b.StopTimer()
+				tot := pool.TotalStats()
+				b.ReportMetric(float64(per*nprocs)/b.Elapsed().Seconds(), "ops/sec")
+				if updates > 0 {
+					b.ReportMetric(float64(tot.PersistentFences)/float64(updates), "pfences/op")
+				} else if tot.PersistentFences > 0 {
+					b.Fatalf("%s: %d persistent fences on a read-only mix", mix, tot.PersistentFences)
+				}
+			})
+		}
 	}
 }
 
