@@ -712,11 +712,14 @@ var throughputBaseline = []throughputPoint{
 
 // etConfig sizes an instance for nprocs simulated processes, sharing
 // the sizing policy with BenchmarkThroughput* (workload.Throughput*) so
-// both harnesses measure identical configurations.
-func etConfig(nprocs int) core.Config {
+// both harnesses measure identical configurations. fast toggles the
+// version-stamped read fast path: et measures every point both ways, so
+// the artifact carries its own same-session before/after.
+func etConfig(nprocs int, fast bool) core.Config {
 	return core.Config{
 		NProcs:       nprocs,
 		LocalViews:   true,
+		ReadFastPath: fast,
 		CompactEvery: workload.ThroughputCompactEvery(nprocs),
 		LogCapacity:  workload.ThroughputLogCapacity(nprocs),
 	}
@@ -728,9 +731,9 @@ func etPoolSize(nprocs int) int {
 
 // measureThroughput drives nprocs goroutine-backed handles, updatePct
 // percent updates, and returns the measured point.
-func measureThroughput(nprocs, updatePct, totalOps int) (throughputPoint, error) {
+func measureThroughput(nprocs, updatePct, totalOps int, fast bool) (throughputPoint, error) {
 	pool := pmem.New(etPoolSize(nprocs), nil)
-	in, err := core.New(pool, objects.CounterSpec{}, etConfig(nprocs))
+	in, err := core.New(pool, objects.CounterSpec{}, etConfig(nprocs, fast))
 	if err != nil {
 		return throughputPoint{}, err
 	}
@@ -796,9 +799,9 @@ func measureThroughput(nprocs, updatePct, totalOps int) (throughputPoint, error)
 // map is preloaded with the whole key space, as YCSB loads its dataset,
 // so read-heavy mixes measure lookups against a populated index rather
 // than misses on an empty one.
-func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int) (throughputPoint, error) {
+func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int, fast bool) (throughputPoint, error) {
 	pool := pmem.New(etPoolSize(nprocs), nil)
-	in, err := core.New(pool, objects.OrderedMapSpec{}, etConfig(nprocs))
+	in, err := core.New(pool, objects.OrderedMapSpec{}, etConfig(nprocs, fast))
 	if err != nil {
 		return throughputPoint{}, err
 	}
@@ -848,49 +851,101 @@ func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int) (throughputPoi
 // etProcs is the process sweep: up to the full pid space (MaxPids = 64).
 var etProcs = []int{1, 2, 4, 8, 16, 32, 64}
 
+// etRepeats is the paired measurements taken per point; the fastest of
+// each leg is kept. Shared CI-class boxes have second-scale scheduling
+// bursts that dwarf a single 200k-op sample, and host speed drifts over
+// minutes — so the two fast-path legs are measured back-to-back inside
+// each repetition (never one whole leg after the other) and best-of-N
+// per leg reports peak sustainable throughput instead of whichever
+// burst a lone sample landed in.
+const etRepeats = 3
+
+// etPair returns the best-of-etRepeats measurement of one point for
+// both fast-path legs, interleaved off/on within every repetition.
+func etPair(measure func(fast bool) (throughputPoint, error)) (off, on throughputPoint, err error) {
+	for r := 0; r < etRepeats; r++ {
+		o, err := measure(false)
+		if err != nil {
+			return off, on, err
+		}
+		if o.OpsPerSec > off.OpsPerSec {
+			off = o
+		}
+		n, err := measure(true)
+		if err != nil {
+			return off, on, err
+		}
+		if n.OpsPerSec > on.OpsPerSec {
+			on = n
+		}
+	}
+	return off, on, nil
+}
+
+// etMeasureAll runs the full sweep (counter updates/mixed + YCSB
+// mixes), returning the fast-path-off and fast-path-on series.
+func etMeasureAll(totalOps int) (offs, ons []throughputPoint, err error) {
+	add := func(measure func(fast bool) (throughputPoint, error)) error {
+		off, on, err := etPair(measure)
+		if err != nil {
+			return err
+		}
+		offs, ons = append(offs, off), append(ons, on)
+		return nil
+	}
+	for _, updatePct := range []int{100, 50} {
+		for _, nprocs := range etProcs {
+			nprocs, updatePct := nprocs, updatePct
+			if err := add(func(fast bool) (throughputPoint, error) {
+				return measureThroughput(nprocs, updatePct, totalOps, fast)
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	mixes := []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBD, workload.YCSBE}
+	for _, mix := range mixes {
+		for _, nprocs := range etProcs {
+			mix, nprocs := mix, nprocs
+			if err := add(func(fast bool) (throughputPoint, error) {
+				return measureYCSB(mix, nprocs, totalOps, fast)
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return offs, ons, nil
+}
+
 // et: simulator-substrate throughput scaling over 1..64 processes.
+// Every point is measured twice in the same session — read fast path
+// off (the PR 3 configuration) and on — so the speedup column compares
+// like with like on the same host, immune to box-to-box noise.
 func et() error {
-	header("ET: parallel throughput suite (two-tier logs + YCSB-A/B/C/E vs recorded baselines)")
-	row("workload/procs", "ops/sec", "ns/op", "pf/update", "vs pr1")
+	header("ET: parallel throughput suite (read fast path on vs off, YCSB-A/B/C/D/E)")
+	const totalOps = 200_000
+	pr3, current, err := etMeasureAll(totalOps)
+	if err != nil {
+		return err
+	}
 	prev := func(wl string, procs int) float64 {
-		for _, b := range throughputPR1 {
+		for _, b := range pr3 {
 			if b.Workload == wl && b.Procs == procs {
 				return b.OpsPerSec
 			}
 		}
 		return 0
 	}
-	const totalOps = 200_000
-	var current []throughputPoint
-	for _, updatePct := range []int{100, 50} {
-		for _, nprocs := range etProcs {
-			pt, err := measureThroughput(nprocs, updatePct, totalOps)
-			if err != nil {
-				return err
-			}
-			current = append(current, pt)
-			speedup := "n/a"
-			if b := prev(pt.Workload, pt.Procs); b > 0 {
-				speedup = fmt.Sprintf("%.2fx", pt.OpsPerSec/b)
-			}
-			row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
-				fmt.Sprintf("%.0f", pt.OpsPerSec),
-				fmt.Sprintf("%.0f", pt.NsPerOp),
-				fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
+	row("workload/procs", "ops/sec", "ns/op", "pf/update", "vs fastpath-off")
+	for _, pt := range current {
+		speedup := "n/a"
+		if b := prev(pt.Workload, pt.Procs); b > 0 {
+			speedup = fmt.Sprintf("%.2fx", pt.OpsPerSec/b)
 		}
-	}
-	for _, mix := range []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBE} {
-		for _, nprocs := range etProcs {
-			pt, err := measureYCSB(mix, nprocs, totalOps)
-			if err != nil {
-				return err
-			}
-			current = append(current, pt)
-			row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
-				fmt.Sprintf("%.0f", pt.OpsPerSec),
-				fmt.Sprintf("%.0f", pt.NsPerOp),
-				fmt.Sprintf("%.3f", pt.PFencesPerUpd), "n/a")
-		}
+		row(fmt.Sprintf("%s/%d", pt.Workload, pt.Procs),
+			fmt.Sprintf("%.0f", pt.OpsPerSec),
+			fmt.Sprintf("%.0f", pt.NsPerOp),
+			fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
 	}
 	footprint := footprintTable()
 	fmt.Println()
@@ -906,13 +961,15 @@ func et() error {
 			GoMaxProcs    int               `json:"go_max_procs"`
 			BaselineNote  string            `json:"baseline_note"`
 			PR1Note       string            `json:"pr1_note"`
+			PR3Note       string            `json:"pr3_note"`
 			FootprintNote string            `json:"footprint_note"`
 			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
 			PR1           []throughputPoint `json:"pr1_sharded_pool"`
-			Current       []throughputPoint `json:"current_two_tier_logs"`
+			PR3           []throughputPoint `json:"pr3_read_fastpath_off"`
+			Current       []throughputPoint `json:"current_read_fastpath"`
 			Footprint     []footprintPoint  `json:"log_footprint"`
 		}{
-			Schema:        "bench_throughput/v3",
+			Schema:        "bench_throughput/v4",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			BaselineNote: "baseline measured on the seed's single-mutex map-backed pool " +
@@ -922,11 +979,19 @@ func et() error {
 				"as the PR 2 numbers for an apples-to-apples delta; the PR 1 session " +
 				"itself recorded updates@8 = 1,700,511 ops/sec for the same code " +
 				"(host noise). ycsb and the 16/32/64-process points did not exist yet",
+			PR3Note: "the PR 3 configuration (two-tier logs, read fast path OFF), " +
+				"re-measured in the same session as the current numbers so the " +
+				"fast-path delta is host-noise-free; ycsb-d did not exist in PR 3 " +
+				"but is measured both ways here for the same reason. Every point " +
+				"is best-of-3 per leg with the legs interleaved off/on inside " +
+				"each repetition (host speed drifts over minutes; single samples " +
+				"on shared boxes land in second-scale scheduling bursts)",
 			FootprintNote: "plog.RegionBytes of the two-tier slot layout (inline budget " +
 				"4 ops + shared overflow ring at 1/8 of worst case) vs the retired " +
 				"single-tier layout, at the suite's log geometry; pfences/op unchanged",
 			Baseline:  throughputBaseline,
 			PR1:       throughputPR1,
+			PR3:       pr3,
 			Current:   current,
 			Footprint: footprint,
 		}

@@ -27,6 +27,11 @@ type HarnessConfig struct {
 	WaitFree     bool
 	LocalViews   bool
 	CompactEvery int
+	// ReadFastPath enables the version-stamped read fast path (shared
+	// published view + epoch-checked reads) in both the pre-crash and
+	// the recovered instance, so crash sweeps exercise adoption across
+	// recovery.
+	ReadFastPath bool
 	// LogInlineOps is the two-tier inline slot budget passed through to
 	// core.Config (0 = plog default); sweeps shrink it to force records
 	// through the overflow ring.
@@ -72,7 +77,7 @@ func RunCrash(cfg HarnessConfig) (*HarnessResult, error) {
 	in, err := core.New(pool, cfg.Spec, core.Config{
 		NProcs: cfg.NProcs, LogCapacity: logCap, Gate: gate,
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
-		LogInlineOps: cfg.LogInlineOps,
+		ReadFastPath: cfg.ReadFastPath, LogInlineOps: cfg.LogInlineOps,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +121,7 @@ func RunCrash(cfg HarnessConfig) (*HarnessResult, error) {
 	pool.SetGate(nil)
 	in2, rep, err := core.Recover(pool, cfg.Spec, core.Config{
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
+		ReadFastPath: cfg.ReadFastPath,
 	})
 	if err != nil {
 		return res, fmt.Errorf("recovery failed: %w", err)

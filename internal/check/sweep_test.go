@@ -10,6 +10,7 @@ import (
 	"repro/internal/objects"
 	"repro/internal/pmem"
 	"repro/internal/spec"
+	"repro/internal/workload"
 )
 
 // TestCrashInjectionSweep is the randomized crash-injection sweep at
@@ -28,7 +29,10 @@ import (
 // the compactForSpace pressure valve is armed should a burst exhaust
 // the ring (without local views that would be a hard error, per
 // core.Config's docs). Odd iterations run the default inline budget
-// with compaction, exercising snapshot records at scale.
+// with compaction, exercising snapshot records at scale. Every third
+// iteration additionally switches to the wait-free execution trace, so
+// the wait-free ordering + compaction combination (helping across a
+// cut) is crashed and recovered at every process count.
 //
 // -short trims the sweep to 16 processes (the bounded CI job);
 // ONLL_SWEEP_ITERS overrides the per-configuration iteration count.
@@ -72,6 +76,8 @@ func TestCrashInjectionSweep(t *testing.T) {
 					if i%2 == 0 {
 						cfg.LogInlineOps = 1 // force helped records through the overflow ring
 					}
+					cfg.WaitFree = i%3 == 0 // wait-free ordering + compaction combo
+					cfg.ReadFastPath = workload.ReadFastPathEnabled()
 					res, err := RunCrash(cfg)
 					if err != nil {
 						t.Fatalf("%s procs=%d iter=%d crash@%d inline=%d compact=%d: %v",
@@ -86,7 +92,47 @@ func TestCrashInjectionSweep(t *testing.T) {
 					}
 				}
 			}
+			readHeavySweep(t, nprocs, iters)
 		})
+	}
+}
+
+// readHeavySweep is the read-heavy crash mix: 15% updates with the
+// read fast path enabled (unless the CI fast-path-off leg disables it)
+// and a tight compaction cadence, so epoch-checked reads, shared-view
+// publication and adoption all run under the random crash point — and
+// again in the recovered era, where every replacement handle starts
+// cold and must catch up to a trace it never walked. Probing a read
+// from EVERY handle after recovery forces that cold-start path: the
+// first walker republishes, the rest adopt.
+func readHeavySweep(t *testing.T, nprocs, iters int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(nprocs)*4049 + 3))
+	base := HarnessConfig{
+		Spec: objects.MapSpec{}, NProcs: nprocs, OpsPerProc: 30, UpdatePct: 15,
+		Seed: int64(nprocs)*13 + 5, LocalViews: true, CompactEvery: 8,
+		ReadFastPath: workload.ReadFastPathEnabled(),
+	}
+	probe, err := RunLive(base)
+	if err != nil {
+		t.Fatalf("read-heavy probe: %v", err)
+	}
+	for i := 0; i < iters; i++ {
+		cfg := base
+		cfg.Seed = int64(i)*50021 + 29
+		cfg.CrashStep = 1 + uint64(rng.Int63n(int64(probe.Steps)))
+		cfg.Oracle = pmem.SeededOracle(uint64(cfg.Seed), uint64(rng.Intn(4)), 3)
+		cfg.WaitFree = i%2 == 1
+		res, err := RunCrash(cfg)
+		if err != nil {
+			t.Fatalf("read-heavy procs=%d iter=%d crash@%d waitfree=%v fastpath=%v: %v",
+				nprocs, i, cfg.CrashStep, cfg.WaitFree, cfg.ReadFastPath, err)
+		}
+		if res.Instance != nil {
+			for pid := 0; pid < nprocs; pid++ {
+				res.Instance.Handle(pid).Read(objects.MapLen)
+			}
+		}
 	}
 }
 

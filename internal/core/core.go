@@ -54,6 +54,9 @@ const (
 	PointOrdered   = "onll.ordered"   // after the order stage
 	PointPersisted = "onll.persisted" // after the persist stage (the fence)
 	PointReturn    = "op.return"      // just before an operation returns
+	PointPublish   = "onll.publish"   // before acquiring the shared-view slot to publish
+	PointAdopt     = "onll.adopt"     // before acquiring the shared-view slot to adopt
+	PointSlotCopy  = "onll.slot-copy" // holding the slot, before the state copy
 )
 
 // Root-table layout used to locate the construction after a crash.
@@ -102,6 +105,26 @@ type Config struct {
 	// the lag since the handle last looked (Section 8). Compaction
 	// requires local views.
 	LocalViews bool
+	// ReadFastPath enables the version-stamped read fast path on top of
+	// local views (implied; setting it turns LocalViews on):
+	//
+	//   - every linearize stage bumps the trace's publication epoch, and
+	//     a read whose handle has already observed the current epoch is
+	//     served straight from the local view, without touching the
+	//     trace at all — on read-heavy mixes the per-read trace walk
+	//     disappears whenever no update has landed in between;
+	//   - a cold or lagging handle may adopt a copy of the instance's
+	//     latest published view (a seqlock-style shared slot: publishers
+	//     and adopters acquire it with one CAS and fall back to the
+	//     ordinary suffix walk on contention) instead of replaying the
+	//     whole suffix node by node.
+	//
+	// Reads stay fence-free and allocation-free; pfences/op is
+	// unchanged (updates 1, reads 0). The flat-combining and eager
+	// baselines (internal/baselines) deliberately do not implement an
+	// equivalent, so E6/E7 keep comparing against the unassisted
+	// designs the paper describes.
+	ReadFastPath bool
 	// CompactEvery, if positive, makes each handle write a snapshot
 	// record and truncate its log every CompactEvery updates, and cut
 	// the trace behind the snapshot (Section 8 memory reclamation).
@@ -137,7 +160,7 @@ func (c *Config) fill() error {
 	if c.Gate == nil {
 		c.Gate = sched.NopGate{}
 	}
-	if c.CompactEvery > 0 {
+	if c.CompactEvery > 0 || c.ReadFastPath {
 		c.LocalViews = true
 	}
 	return nil
@@ -154,6 +177,7 @@ type Instance struct {
 	tr    trace.Interface
 	logs  []*plog.Log
 	hands []*Handle
+	pub   *pubView // shared latest-view slot (ReadFastPath only, else nil)
 }
 
 // New builds a fresh instance of sp on pool. Setup durably writes the
@@ -164,6 +188,9 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
+	if cfg.ReadFastPath {
+		in.pub = &pubView{}
+	}
 	if cfg.WaitFree {
 		in.tr = trace.NewWaitFree(cfg.Gate, cfg.NProcs)
 	} else {
@@ -186,7 +213,7 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 func (in *Instance) makeHandles(seqs map[int]uint64) {
 	in.hands = make([]*Handle, in.cfg.NProcs)
 	for pid := 0; pid < in.cfg.NProcs; pid++ {
-		h := &Handle{in: in, pid: pid}
+		h := &Handle{in: in, pid: pid, seenEpoch: epochNever}
 		h.floor.Store(^uint64(0)) // idle: blocks no reclamation
 		if seqs != nil {
 			h.seq = seqs[pid]
@@ -246,6 +273,20 @@ type Handle struct {
 	view     spec.State
 	viewIdx  uint64
 	viewSeqs []uint64
+
+	// Read fast path (Config.ReadFastPath). seenEpoch is the trace
+	// publication epoch loaded BEFORE the walk that last caught the
+	// view up: while Epoch() still equals it, no operation has been
+	// published since, so the view is the latest available prefix and
+	// Read serves from it without touching the trace. epochNever marks
+	// a view that has not been validated against any epoch yet (fresh
+	// or recovered handles), forcing the first read onto the walk.
+	// adopt is the scratch state adoption copies into (the view and the
+	// scratch swap roles on success, so a copy torn by contention never
+	// replaces a good view); adoptions counts successful adoptions.
+	seenEpoch uint64
+	adopt     spec.State
+	adoptions uint64
 
 	// Scratch buffers reused across operations (a Handle runs one
 	// operation at a time, enforced by busy), keeping steady-state
@@ -368,6 +409,14 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	}
 
 	// Compute the return value on the state up to and including node.
+	// seenEpoch is deliberately NOT refreshed here, so the handle's next
+	// read revalidates with a walk: computeUpdate advances the view only
+	// to OUR node, while an epoch loaded now also covers concurrently
+	// published nodes with HIGHER indices (ordered after us, linearized
+	// before us) that the view does not reflect — recording it would let
+	// the next fast read miss an operation that completed before it.
+	// Read's epoch is safe precisely because its walk reaches the latest
+	// available node from the tail, not a fixed one.
 	ret = h.computeUpdate(node)
 
 	if in.cfg.CompactEvery > 0 {
@@ -385,14 +434,44 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 
 // Read executes the read-only operation (code, args) (paper Listing 4).
 // It issues no persistent fence and writes nothing shared.
+//
+// With Config.ReadFastPath, the epoch check happens before the walk
+// floor is published: the fast path dereferences no trace node, so it
+// needs no reclamation cover, and a fast read costs one epoch load plus
+// the view read. The floor store is deferred to the slow path, which is
+// the only one that walks.
 func (h *Handle) Read(code uint64, args ...uint64) uint64 {
-	h.enter()
-	defer h.exit()
+	if !h.busy.CompareAndSwap(false, true) {
+		panic(errBusy)
+	}
+	defer h.busy.Store(false)
 	op := spec.Op{Code: code}
 	copy(op.Args[:], args)
 	in := h.in
+	fast := in.cfg.ReadFastPath && h.view != nil
+	var epoch uint64
+	if fast {
+		// Load the epoch BEFORE the tail read below: any operation
+		// whose publication the loaded value covers already has its
+		// available flag set, so the walk is guaranteed to reach a node
+		// at or above it — recording this value after the walk is what
+		// makes the next epoch match proof of an up-to-date view.
+		epoch = in.tr.Epoch(h.pid)
+		if epoch == h.seenEpoch {
+			ret := h.view.Read(op)
+			in.gate.Step(h.pid, PointReturn)
+			return ret
+		}
+	}
+	// Publish the walk floor BEFORE any trace read (sequentially
+	// consistent store): reclamation reads it to prove quiescence.
+	h.floor.Store(h.viewIdx)
+	defer h.floor.Store(^uint64(0))
 	node := trace.LatestAvailableFrom(in.gate, h.pid, in.tr.Tail(h.pid))
 	ret := h.computeRead(node, op)
+	if fast {
+		h.seenEpoch = epoch
+	}
 	in.gate.Step(h.pid, PointReturn)
 	return ret
 }
@@ -449,8 +528,15 @@ func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 // advanceView applies the operations between the view and node to the
 // local view and returns the value of the last one applied (node's own
 // operation). If the walk meets a compaction base newer than the view,
-// the view is restored from the base first.
+// the view is restored from the base first. With the read fast path
+// enabled, a handle lagging far behind first tries to adopt the
+// instance's published view (cutting the replay to the distance from
+// the publication point), and a handle that just finished a long
+// catch-up publishes its view so the next laggard can adopt it.
 func (h *Handle) advanceView(node *trace.Node) uint64 {
+	if h.in.pub != nil && node.Idx() > h.viewIdx && node.Idx()-h.viewIdx > adoptMinLag {
+		h.tryAdopt(node)
+	}
 	nodes, base := trace.CollectBackInto(h.nodeBuf, node, h.viewIdx)
 	h.nodeBuf = nodes
 	if base != nil && base.Idx() > h.viewIdx {
@@ -467,6 +553,9 @@ func (h *Handle) advanceView(node *trace.Node) uint64 {
 		if pid, seq := spec.SplitID(n.Op.ID); pid >= 0 && pid < len(h.viewSeqs) && seq > h.viewSeqs[pid] {
 			h.viewSeqs[pid] = seq
 		}
+	}
+	if h.in.pub != nil && len(nodes) > publishMinLag {
+		h.tryPublish()
 	}
 	return ret
 }
@@ -628,6 +717,12 @@ func (h *Handle) compact(node *trace.Node) error {
 	base := trace.NewBase(s, snap, seqs)
 	node.SetNextBase(base)
 	h.reclaim(old)
+	if h.in.pub != nil {
+		// The compacting handle is exactly caught up at s; publishing
+		// here gives laggards (whose walks now stop at the new base
+		// anyway) a state to adopt without deserializing the snapshot.
+		h.tryPublish()
+	}
 	return nil
 }
 
@@ -746,6 +841,9 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 	}
 
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
+	if cfg.ReadFastPath {
+		in.pub = &pubView{}
+	}
 	var records []plog.Record
 	for pid := 0; pid < nprocs; pid++ {
 		base := pmem.Addr(pool.Root(rootLogBase + pid))

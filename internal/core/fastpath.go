@@ -1,0 +1,144 @@
+package core
+
+// The read fast path (Config.ReadFastPath, DESIGN.md §3.5) has two
+// halves. The epoch check lives in Read/advanceView in core.go: the
+// trace bumps a publication epoch on every linearize stage, and a read
+// whose handle has already validated its view against the current epoch
+// skips the trace walk entirely. This file holds the second half, the
+// shared latest-view slot: a single per-instance publication of (state,
+// execution index, covered-sequence vector) that cold or lagging
+// handles copy instead of replaying a long trace suffix node by node.
+//
+// The slot is guarded seqlock-style by one version counter: even means
+// free, odd means a publisher or adopter is inside. Both sides acquire
+// it with a single CAS and NEVER wait — on contention they simply fall
+// back to the ordinary suffix walk, which is always correct. Because
+// adopters hold the (odd) version for the duration of their copy, a
+// copy can never race a publisher's overwrite, keeping the protocol
+// race-detector-clean while preserving the seqlock shape: the version
+// recheck built into the CAS acquire is what rejects mid-copy access.
+// Adopters copy into a handle-private scratch state and swap it with
+// the view only after a successful copy, so a failed acquisition never
+// leaves a torn view behind.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// epochNever marks a handle whose view has not been validated against
+// any trace epoch (fresh or freshly recovered); the first read always
+// takes the walk. Publication epochs count up from zero and cannot
+// reach it.
+const epochNever = ^uint64(0)
+
+const (
+	// adoptMinLag is the minimum view lag (in trace nodes) before a
+	// handle tries adoption: below it, replaying the suffix is cheaper
+	// than copying a whole state.
+	adoptMinLag = 32
+	// publishMinLag is the minimum number of nodes an advanceView must
+	// have replayed before it publishes its view: a handle that just
+	// paid for a long catch-up shares the result, handles ticking along
+	// one node at a time never pay the publication copy.
+	publishMinLag = 32
+)
+
+// pubView is the instance's shared latest-view slot.
+type pubView struct {
+	// ver is the seqlock version: even = free, odd = held. Publishers
+	// and adopters both acquire with one CAS and fall back (no retry,
+	// no spin) on failure.
+	ver atomic.Uint64
+	// The payload below is written and read only while holding ver.
+	state     spec.State
+	idx       uint64
+	seqs      []uint64
+	publishes uint64 // successful publications (diagnostics/tests)
+}
+
+// tryAcquire takes the slot if it is free, returning the even version
+// to pass to release. It never blocks.
+func (p *pubView) tryAcquire() (uint64, bool) {
+	v := p.ver.Load()
+	if v&1 != 0 || !p.ver.CompareAndSwap(v, v+1) {
+		return 0, false
+	}
+	return v, true
+}
+
+// release frees the slot, advancing the version past v+1.
+func (p *pubView) release(v uint64) { p.ver.Store(v + 2) }
+
+// tryPublish offers the handle's current view to the shared slot. It
+// only ever moves the publication forward (a stale view never replaces
+// a newer one) and skips silently on contention.
+//
+// Both tryPublish and tryAdopt announce gate points before acquiring
+// the slot and again while holding it, so deterministic schedulers can
+// preempt — or crash-inject — between the acquire and the copy.
+// Suspending (or killing) a holder at a gate blocks nobody: contenders
+// fall back to the suffix walk instead of waiting, and a slot left
+// permanently odd by a killed process only disables the optimization.
+func (h *Handle) tryPublish() {
+	h.in.gate.Step(h.pid, PointPublish)
+	p := h.in.pub
+	v, ok := p.tryAcquire()
+	if !ok {
+		return
+	}
+	if h.viewIdx > p.idx {
+		if p.state == nil {
+			p.state = h.in.sp.New()
+		}
+		h.in.gate.Step(h.pid, PointSlotCopy)
+		spec.Copy(p.state, h.view)
+		p.idx = h.viewIdx
+		if cap(p.seqs) < len(h.viewSeqs) {
+			p.seqs = make([]uint64, len(h.viewSeqs))
+		}
+		p.seqs = p.seqs[:len(h.viewSeqs)]
+		copy(p.seqs, h.viewSeqs)
+		p.publishes++
+	}
+	p.release(v)
+}
+
+// tryAdopt replaces the handle's view with a copy of the published one
+// when that cuts the replay distance to node. The copy only pays for
+// itself when it SAVES enough replay, so the published index must be
+// more than adoptMinLag ahead of the view — lag to node alone is not
+// profitability (a publication one node ahead would cost a full state
+// copy to save a single Apply). It must also be strictly below node:
+// adopting past node would lose node's own return value (computeUpdate
+// needs it) and break compact's caught-up-at-node invariant. The copy
+// lands in the handle's scratch state and the two swap roles only on
+// success, so contention (acquire failure) costs nothing and can never
+// tear the live view.
+func (h *Handle) tryAdopt(node *trace.Node) {
+	h.in.gate.Step(h.pid, PointAdopt)
+	p := h.in.pub
+	v, ok := p.tryAcquire()
+	if !ok {
+		return // contention: fall back to the plain suffix walk
+	}
+	if p.state == nil || p.idx <= h.viewIdx || p.idx-h.viewIdx <= adoptMinLag || p.idx >= node.Idx() {
+		p.release(v)
+		return
+	}
+	if h.adopt == nil {
+		h.adopt = h.in.sp.New()
+	}
+	h.in.gate.Step(h.pid, PointSlotCopy)
+	spec.Copy(h.adopt, p.state)
+	idx := p.idx
+	// Published seq vectors are elementwise >= those of any older view
+	// (prefixes only grow), but merge defensively rather than assume.
+	mergeSeqs(h.viewSeqs, p.seqs)
+	p.release(v)
+	h.view, h.adopt = h.adopt, h.view
+	h.viewIdx = idx
+	h.adoptions++
+}

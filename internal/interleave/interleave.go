@@ -41,6 +41,10 @@ type Config struct {
 	WaitFree     bool
 	LocalViews   bool
 	CompactEvery int
+	// ReadFastPath enables the version-stamped read fast path, so the
+	// deterministic scheduler can interleave epoch checks, adoption and
+	// publication at single-step granularity (and crash between them).
+	ReadFastPath bool
 }
 
 // Result carries what a run produced.
@@ -60,6 +64,7 @@ func Run(cfg Config) (*Result, error) {
 	in, err := core.New(pool, cfg.Spec, core.Config{
 		NProcs: cfg.NProcs, Gate: ctl, LogCapacity: cfg.OpsPerProc*2 + 64,
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
+		ReadFastPath: cfg.ReadFastPath,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +119,7 @@ func Run(cfg Config) (*Result, error) {
 		pool.SetGate(nil)
 		_, rep, err := core.Recover(pool, cfg.Spec, core.Config{
 			WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
+			ReadFastPath: cfg.ReadFastPath,
 		})
 		if err != nil {
 			return res, fmt.Errorf("recovery: %w", err)

@@ -1,0 +1,63 @@
+package objects
+
+import "repro/internal/spec"
+
+// spec.Copier implementations for every shipped state: CopyFrom
+// replaces the receiver with a deep copy of src while reusing the
+// receiver's storage (slices, dense tables) when the shapes match.
+// core's read fast path overwrites the same destination state on every
+// view adoption and every shared-view publication, so these keep that
+// path allocation-free in steady state — Clone (which always allocates)
+// stays the right tool for one-shot copies.
+//
+// Each CopyFrom panics via the type assertion if src is a state of a
+// different spec; core only ever pairs states created by the same
+// Instance's spec.
+
+// reuse copies src into dst, reusing dst's backing array when it is
+// large enough (the adoption steady state, where the same scratch state
+// absorbs similarly-sized views over and over).
+func reuse(dst, src []uint64) []uint64 {
+	if cap(dst) < len(src) {
+		return append(dst[:0:0], src...)
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+func (s *counterState) CopyFrom(src spec.State) { s.v = src.(*counterState).v }
+
+func (s *registerState) CopyFrom(src spec.State) { s.v = src.(*registerState).v }
+
+func (s *stackState) CopyFrom(src spec.State) { s.xs = reuse(s.xs, src.(*stackState).xs) }
+
+func (s *queueState) CopyFrom(src spec.State) {
+	o := src.(*queueState)
+	s.xs = reuse(s.xs, o.xs)
+	s.head = o.head
+}
+
+func (s *dequeState) CopyFrom(src spec.State) { s.xs = reuse(s.xs, src.(*dequeState).xs) }
+
+func (s *setState) CopyFrom(src spec.State) { s.t.copyFrom(src.(*setState).t) }
+
+func (s *mapState) CopyFrom(src spec.State) { s.t.copyFrom(src.(*mapState).t) }
+
+func (s *pqState) CopyFrom(src spec.State) { s.h = reuse(s.h, src.(*pqState).h) }
+
+func (s *logState) CopyFrom(src spec.State) { s.xs = reuse(s.xs, src.(*logState).xs) }
+
+func (s *bankState) CopyFrom(src spec.State) {
+	o := src.(*bankState)
+	clear(s.m)
+	for k, v := range o.m {
+		s.m[k] = v
+	}
+}
+
+func (s *omapState) CopyFrom(src spec.State) {
+	o := src.(*omapState)
+	s.keys = reuse(s.keys, o.keys)
+	s.vals = reuse(s.vals, o.vals)
+}

@@ -92,6 +92,29 @@ type State interface {
 	Restore(words []uint64) error
 }
 
+// Copier is an optional State extension: CopyFrom replaces the receiver
+// with a deep copy of src (which must be a state of the same spec),
+// reusing the receiver's existing storage where possible. It is the
+// allocation-light alternative to Clone used by core's view-adoption
+// fast path, where the same destination state is overwritten over and
+// over. States that do not implement it are copied through
+// Snapshot/Restore instead.
+type Copier interface {
+	CopyFrom(src State)
+}
+
+// Copy replaces dst's contents with src's, via Copier when dst supports
+// it and through the snapshot wire format otherwise.
+func Copy(dst, src State) {
+	if c, ok := dst.(Copier); ok {
+		c.CopyFrom(src)
+		return
+	}
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		panic(fmt.Sprintf("spec: Copy via snapshot failed: %v", err))
+	}
+}
+
 // Spec is a deterministic sequential object specification: a name and a
 // constructor for the state immediately after INITIALIZE.
 type Spec interface {

@@ -160,8 +160,18 @@ type Interface interface {
 	// may be in the fuzzy window).
 	Tail(pid int) *Node
 	// SetAvailable sets node's available flag (the linearize step;
-	// paper Listing 3 line 7).
+	// paper Listing 3 line 7) and bumps the trace's publication epoch.
 	SetAvailable(pid int, node *Node)
+	// Epoch returns the publication epoch: a monotonic counter bumped
+	// after every SetAvailable. A reader that cached a view after
+	// loading epoch E is guaranteed, on observing Epoch() == E again,
+	// that no operation has been published in between — its cached view
+	// is still the latest available prefix, and it can skip the trace
+	// walk entirely (core's read fast path). The bump is ordered after
+	// the available store and Epoch is loaded before the tail read, so
+	// with sequentially consistent atomics an operation whose bump is
+	// covered by E is always found by a walk that follows the load.
+	Epoch(pid int) uint64
 	// Sentinel returns the INITIALIZE node the trace was created with.
 	Sentinel() *Node
 }
@@ -216,6 +226,7 @@ type LockFree struct {
 	gate     sched.Gate
 	sentinel *Node
 	tail     atomic.Pointer[Node]
+	epoch    atomic.Uint64
 }
 
 // NewLockFree returns an empty lock-free trace whose sentinel is the
@@ -263,10 +274,19 @@ func (t *LockFree) Tail(pid int) *Node {
 	return t.tail.Load()
 }
 
-// SetAvailable implements Interface.
+// SetAvailable implements Interface. The epoch bump is ordered after the
+// available store: a reader whose Epoch load covers the bump is
+// guaranteed to find node available on a subsequent walk.
 func (t *LockFree) SetAvailable(pid int, node *Node) {
 	t.gate.Step(pid, "trace.set-available")
 	node.available.Store(true)
+	t.epoch.Add(1)
+}
+
+// Epoch implements Interface.
+func (t *LockFree) Epoch(pid int) uint64 {
+	t.gate.Step(pid, "trace.epoch")
+	return t.epoch.Load()
 }
 
 // Sentinel implements Interface.
@@ -311,6 +331,7 @@ type WaitFree struct {
 	sentinel *Node
 	tail     atomic.Pointer[Node]
 	maxPhase atomic.Uint64
+	epoch    atomic.Uint64
 	nprocs   int
 	state    []atomic.Pointer[wfDesc]
 }
@@ -410,10 +431,18 @@ func (t *WaitFree) Tail(pid int) *Node {
 	return t.tail.Load()
 }
 
-// SetAvailable implements Interface.
+// SetAvailable implements Interface (epoch bump ordered after the
+// available store, as in LockFree).
 func (t *WaitFree) SetAvailable(pid int, node *Node) {
 	t.gate.Step(pid, "trace.set-available")
 	node.available.Store(true)
+	t.epoch.Add(1)
+}
+
+// Epoch implements Interface.
+func (t *WaitFree) Epoch(pid int) uint64 {
+	t.gate.Step(pid, "trace.epoch")
+	return t.epoch.Load()
 }
 
 // Sentinel implements Interface.

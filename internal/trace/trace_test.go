@@ -425,3 +425,58 @@ func TestWaitFreeStress(t *testing.T) {
 		}
 	}
 }
+
+func TestEpochBumpsOnPublicationOnly(t *testing.T) {
+	for name, tr := range traces(2) {
+		t.Run(name, func(t *testing.T) {
+			if e := tr.Epoch(0); e != 0 {
+				t.Fatalf("fresh trace epoch %d, want 0", e)
+			}
+			n1, n2 := NewNode(op(1)), NewNode(op(2))
+			tr.Insert(0, n1)
+			tr.Insert(1, n2)
+			if e := tr.Epoch(0); e != 0 {
+				t.Fatalf("epoch %d after inserts only (publication has not happened)", e)
+			}
+			tr.SetAvailable(0, n1)
+			if e := tr.Epoch(1); e != 1 {
+				t.Fatalf("epoch %d after first publication, want 1", e)
+			}
+			tr.SetAvailable(1, n2)
+			if e := tr.Epoch(0); e != 2 {
+				t.Fatalf("epoch %d after second publication, want 2", e)
+			}
+			// A compaction cut publishes nothing: the visible prefix is
+			// unchanged, so the epoch must not move (a moved epoch would
+			// needlessly invalidate every cached view).
+			n2.SetNextBase(NewBase(n2.Idx(), []uint64{42}, nil))
+			if e := tr.Epoch(0); e != 2 {
+				t.Fatalf("epoch %d after compaction cut, want 2", e)
+			}
+		})
+	}
+}
+
+// TestEpochCoversAvailability is the ordering contract the read fast
+// path leans on: any node whose publication an Epoch() load covers is
+// found available by a walk that starts after the load.
+func TestEpochCoversAvailability(t *testing.T) {
+	for name, tr := range traces(2) {
+		t.Run(name, func(t *testing.T) {
+			var published uint64
+			for i := 0; i < 200; i++ {
+				n := NewNode(op(uint64(i + 1)))
+				tr.Insert(0, n)
+				tr.SetAvailable(0, n)
+				published++
+				if e := tr.Epoch(1); e != published {
+					t.Fatalf("epoch %d after %d publications", e, published)
+				}
+				la := LatestAvailableFrom(sched.NopGate{}, 1, tr.Tail(1))
+				if la.Idx() < published {
+					t.Fatalf("walk after epoch load found idx %d < %d published", la.Idx(), published)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/objects"
 	"repro/internal/spec"
@@ -101,14 +102,16 @@ func (g *Generator) Spec() spec.Spec { return g.sp }
 
 // YCSBWorkload names one of the classic YCSB mixes, interpreted over the
 // ordered map (the index-tree-shaped object): A = 50/50 read/update,
-// B = 95/5 read-mostly, C = read-only, E = short range scans (served by
-// the ordered map's floor/ceil/select reads) plus inserts.
+// B = 95/5 read-mostly, C = read-only, D = read-latest (reads chase the
+// insert frontier), E = short range scans (served by the ordered map's
+// floor/ceil/select reads) plus inserts.
 type YCSBWorkload string
 
 const (
 	YCSBA YCSBWorkload = "ycsb-a" // 50% OMapGet, 50% OMapPut
 	YCSBB YCSBWorkload = "ycsb-b" // 95% OMapGet, 5% OMapPut
 	YCSBC YCSBWorkload = "ycsb-c" // 100% OMapGet
+	YCSBD YCSBWorkload = "ycsb-d" // 95% OMapGet of recently-inserted keys, 5% fresh-key OMapPut
 	YCSBE YCSBWorkload = "ycsb-e" // 95% order queries (floor/ceil/select), 5% OMapPut
 )
 
@@ -139,7 +142,7 @@ func (y *YCSB) UpdatePct() int {
 	switch y.Mix {
 	case YCSBA:
 		return 50
-	case YCSBB, YCSBE:
+	case YCSBB, YCSBD, YCSBE:
 		return 5
 	default:
 		return 0
@@ -185,6 +188,18 @@ func (y *YCSB) Streams(nprocs, per int) (streams [][]Step, updates int) {
 // update is an OMapPut of a zipfian key; reads are OMapGet except in
 // mix E, where they rotate over the order queries (floor, ceil,
 // select) that make the ordered map more than a hash table.
+//
+// Mix D is the YCSB "read latest" distribution: inserts mint fresh keys
+// above the preloaded space (seed-scrambled so concurrent streams churn
+// disjoint regions), and reads draw a zipfian RECENCY rank over the
+// keys the stream has inserted so far — rank 0 is the newest insert, so
+// reads chase the write frontier. Before the first insert, reads fall
+// back to the newest preloaded keys. Each process tracks its own
+// recency list (streams are generated independently per process), which
+// keeps the workload deterministic while preserving the property that
+// matters: a reader's hot set is perpetually a few updates old, so
+// cached views are always stale and the view-advance machinery (epoch
+// checks, adoption) is exercised under churn rather than at rest.
 func (y *YCSB) Stream(seed int64, n int) []Step {
 	rng := rand.New(rand.NewSource(seed))
 	space := y.KeySpace
@@ -200,11 +215,33 @@ func (y *YCSB) Stream(seed int64, n int) []Step {
 	zipf := rand.NewZipf(rng, theta, 1, space-1)
 	updatePct := y.UpdatePct()
 	steps := make([]Step, 0, n)
+	var inserted []uint64 // mix D: this stream's inserts, oldest first
 	for i := 0; i < n; i++ {
 		// Scramble the zipfian rank so hot keys spread over the key space
 		// (YCSB's "scrambled zipfian") instead of clustering at 1.
 		k := 1 + scramble(zipf.Uint64())%space
 		isUpdate := rng.Intn(100) < updatePct
+		if y.Mix == YCSBD {
+			if isUpdate {
+				// Mint a fresh key above the preload, in a seed-local
+				// region so parallel streams extend the index rather
+				// than overwrite each other's frontier. Regions are
+				// space*8 keys wide and drawn from 2^24 slots, so even
+				// a 64-stream suite collides with negligible
+				// probability (~64^2/2^25) and no realistic stream
+				// outgrows its region (5% of n inserts vs 8192 slots).
+				k = space + 1 + (scramble(uint64(seed))%(1<<24))*(space*8) + uint64(len(inserted))
+				inserted = append(inserted, k)
+			} else if len(inserted) > 0 {
+				r := zipf.Uint64() // skewed toward 0 = most recent
+				if r >= uint64(len(inserted)) {
+					r = uint64(len(inserted)) - 1
+				}
+				k = inserted[uint64(len(inserted))-1-r]
+			} else {
+				k = space - zipf.Uint64()%space // newest preloaded keys
+			}
+		}
 		switch {
 		case isUpdate:
 			steps = append(steps, Step{
@@ -270,4 +307,13 @@ func ThroughputPoolBytes(nprocs int) int {
 		return 1 << 27
 	}
 	return 1 << 26
+}
+
+// ReadFastPathEnabled is the suite-wide default for core's
+// Config.ReadFastPath: on, unless the ONLL_READ_FASTPATH environment
+// variable is "off". CI runs a fast-path-off leg with it so both
+// configurations stay green; the throughput harnesses and the
+// read-heavy crash sweeps all take their default from here.
+func ReadFastPathEnabled() bool {
+	return os.Getenv("ONLL_READ_FASTPATH") != "off"
 }

@@ -93,3 +93,67 @@ func TestStreamValidOpcodesForAllObjects(t *testing.T) {
 		}
 	}
 }
+
+func TestYCSBDReadLatest(t *testing.T) {
+	y := NewYCSB(YCSBD)
+	a := y.Stream(7, 2000)
+	b := y.Stream(7, 2000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	inserted := map[uint64]bool{}
+	updates, frontierReads := 0, 0
+	for i := range a {
+		if a[i].Code != b[i].Code || a[i].IsUpdate != b[i].IsUpdate ||
+			len(a[i].Args) != len(b[i].Args) {
+			t.Fatalf("step %d not deterministic", i)
+		}
+		for j := range a[i].Args {
+			if a[i].Args[j] != b[i].Args[j] {
+				t.Fatalf("step %d arg %d not deterministic", i, j)
+			}
+		}
+		st := a[i]
+		if st.IsUpdate {
+			updates++
+			if st.Code != objects.OMapPut {
+				t.Fatalf("step %d: D update opcode %d", i, st.Code)
+			}
+			k := st.Args[0]
+			if k <= y.KeySpace {
+				t.Fatalf("step %d: D insert reused preloaded key %d", i, k)
+			}
+			if inserted[k] {
+				t.Fatalf("step %d: D insert reused fresh key %d", i, k)
+			}
+			inserted[k] = true
+		} else {
+			if st.Code != objects.OMapGet {
+				t.Fatalf("step %d: D read opcode %d", i, st.Code)
+			}
+			k := st.Args[0]
+			if k > y.KeySpace && !inserted[k] {
+				t.Fatalf("step %d: D read of key %d never inserted", i, k)
+			}
+			if inserted[k] {
+				frontierReads++
+			}
+		}
+	}
+	if updates == 0 {
+		t.Fatal("D generated no inserts")
+	}
+	// The read-latest property: once inserts exist, most reads chase
+	// them (zipfian over recency, rank 0 = newest) rather than the
+	// preloaded space.
+	if frontierReads < len(a)/2 {
+		t.Fatalf("only %d/%d reads hit the insert frontier", frontierReads, len(a))
+	}
+	// Distinct streams churn disjoint fresh-key regions.
+	other := y.Stream(8, 200)
+	for i, st := range other {
+		if st.IsUpdate && inserted[st.Args[0]] {
+			t.Fatalf("stream seed=8 step %d reinserted seed=7 key %d", i, st.Args[0])
+		}
+	}
+}

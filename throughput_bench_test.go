@@ -27,11 +27,14 @@ var throughputProcs = []int{1, 2, 4, 8, 16, 32, 64}
 // throughputConfig sizes an instance for nprocs simulated processes,
 // using the sizing policy shared with `onllbench -exp et`
 // (workload.Throughput*), so the JSON artifact and these benchmarks
-// always measure the same configuration.
+// always measure the same configuration. The version-stamped read fast
+// path is on by default (ONLL_READ_FASTPATH=off opts out, the CI
+// fast-path-off leg).
 func throughputConfig(nprocs int) core.Config {
 	return core.Config{
 		NProcs:       nprocs,
 		LocalViews:   true,
+		ReadFastPath: workload.ReadFastPathEnabled(),
 		CompactEvery: workload.ThroughputCompactEvery(nprocs),
 		LogCapacity:  workload.ThroughputLogCapacity(nprocs),
 	}
@@ -108,15 +111,16 @@ func BenchmarkThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkThroughputYCSB drives the four YCSB mixes (zipfian keys over
+// BenchmarkThroughputYCSB drives the five YCSB mixes (zipfian keys over
 // the ordered map — the index-tree-shaped object) at each scaling
-// point: A = 50/50 get/put, B = 95/5 read-mostly, C = read-only, E =
-// order queries (floor/ceil/select) plus inserts. The map is preloaded
-// with the key space, as YCSB loads its dataset, so read-heavy mixes
-// hit a populated index. `onllbench -exp et` records the same four
-// mixes into BENCH_throughput.json.
+// point: A = 50/50 get/put, B = 95/5 read-mostly, C = read-only, D =
+// read-latest (reads chase the insert frontier, stressing view
+// adoption under churn), E = order queries (floor/ceil/select) plus
+// inserts. The map is preloaded with the key space, as YCSB loads its
+// dataset, so read-heavy mixes hit a populated index. `onllbench -exp
+// et` records the same five mixes into BENCH_throughput.json.
 func BenchmarkThroughputYCSB(b *testing.B) {
-	mixes := []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBE}
+	mixes := []workload.YCSBWorkload{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBD, workload.YCSBE}
 	for _, mix := range mixes {
 		for _, nprocs := range throughputProcs {
 			b.Run(fmt.Sprintf("%s_p%d", mix, nprocs), func(b *testing.B) {
