@@ -41,6 +41,7 @@ var (
 	opsFlag   = flag.Int("ops", 2000, "operations per process")
 	seedFlag  = flag.Int64("seed", 1, "workload seed")
 	jsonFlag  = flag.Bool("json", false, "write the et throughput trajectory to "+jsonPath)
+	etOpsFlag = flag.Int("etops", 200_000, "total operations per et throughput point (smaller = faster smoke, e.g. the multi-core CI leg)")
 )
 
 // jsonPath is the trajectory artifact the -json mode maintains: the
@@ -923,7 +924,10 @@ func etMeasureAll(totalOps int) (offs, ons []throughputPoint, err error) {
 // like with like on the same host, immune to box-to-box noise.
 func et() error {
 	header("ET: parallel throughput suite (read fast path on vs off, YCSB-A/B/C/D/E)")
-	const totalOps = 200_000
+	totalOps := *etOpsFlag
+	if max := etProcs[len(etProcs)-1]; totalOps < max {
+		return fmt.Errorf("et: -etops %d below the widest sweep point (%d processes need at least one op each)", totalOps, max)
+	}
 	pr3, current, err := etMeasureAll(totalOps)
 	if err != nil {
 		return err
@@ -959,9 +963,11 @@ func et() error {
 			Schema        string            `json:"schema"`
 			GeneratedUnix int64             `json:"generated_unix"`
 			GoMaxProcs    int               `json:"go_max_procs"`
+			TotalOps      int               `json:"total_ops_per_point"`
 			BaselineNote  string            `json:"baseline_note"`
 			PR1Note       string            `json:"pr1_note"`
 			PR3Note       string            `json:"pr3_note"`
+			PR5Note       string            `json:"pr5_note"`
 			FootprintNote string            `json:"footprint_note"`
 			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
 			PR1           []throughputPoint `json:"pr1_sharded_pool"`
@@ -969,9 +975,10 @@ func et() error {
 			Current       []throughputPoint `json:"current_read_fastpath"`
 			Footprint     []footprintPoint  `json:"log_footprint"`
 		}{
-			Schema:        "bench_throughput/v4",
+			Schema:        "bench_throughput/v5",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
+			TotalOps:      totalOps,
 			BaselineNote: "baseline measured on the seed's single-mutex map-backed pool " +
 				"with the identical workload, before the lock-striped rewrite",
 			PR1Note: "pr1 code (sharded pool, before dense object states, line-batched " +
@@ -986,6 +993,17 @@ func et() error {
 				"is best-of-3 per leg with the legs interleaved off/on inside " +
 				"each repetition (host speed drifts over minutes; single samples " +
 				"on shared boxes land in second-scale scheduling bursts)",
+			PR5Note: "v5 (PR 5): both legs include the pmem pending-set index fix " +
+				"(snapshot-sized flush batches used to dedupe by O(n^2) linear scan, " +
+				"dominating ycsb-d's compaction cost), so absolute numbers jump vs v4; " +
+				"the fast-on leg adds update-side slot publication, epoch-stamped " +
+				"slot serves and the cost-aware adoption threshold (DESIGN.md §3.6). " +
+				"ycsb-d (read-latest churn) is the headline mix for the on/off delta. " +
+				"go_max_procs and total_ops_per_point (-etops) describe the " +
+				"pr3_read_fastpath_off and current_read_fastpath legs ONLY: the " +
+				"baseline and pr1 series are fixed historical recordings from " +
+				"1-CPU 200k-op sessions and are not comparable to a multi-core " +
+				"or resized regeneration",
 			FootprintNote: "plog.RegionBytes of the two-tier slot layout (inline budget " +
 				"4 ops + shared overflow ring at 1/8 of worst case) vs the retired " +
 				"single-tier layout, at the suite's log geometry; pfences/op unchanged",

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/objects"
+	"repro/internal/pmem"
+	"repro/internal/spec"
+)
+
+// fatState is a Sizer-less state wrapper hiding the underlying size
+// hint, for exercising threshold's fallbacks.
+type fatState struct{ spec.State }
+
+func TestAdoptCostsThreshold(t *testing.T) {
+	var c adoptCosts
+	view := objects.OrderedMapSpec{}.New()
+
+	// No samples yet: the PR 4 constant is the fallback.
+	if got := c.threshold(view); got != adoptFixedMinLag {
+		t.Fatalf("unsampled threshold = %d, want fallback %d", got, adoptFixedMinLag)
+	}
+	// One-sided samples still fall back.
+	c.observeWalk(16, 16*time.Microsecond)
+	if got := c.threshold(view); got != adoptFixedMinLag {
+		t.Fatalf("walk-only threshold = %d, want fallback %d", got, adoptFixedMinLag)
+	}
+
+	// Expensive applies (1µs/node) vs cheap copies (0.25ns/word — the
+	// Q8 floor of 1) on a small state: copying pays almost immediately,
+	// so the threshold clamps to the floor.
+	c.observeCopy(1024, 1*time.Microsecond)
+	if got := c.threshold(view); got != adoptLagFloor {
+		t.Fatalf("cheap-copy threshold = %d, want floor %d", got, adoptLagFloor)
+	}
+
+	// Flip the economics: cheap applies, expensive copies on a large
+	// state. nodeNs ~= 40ns, wordNs ~= 64ns: the threshold must now
+	// scale with the state size rather than sit at a constant.
+	var c2 adoptCosts
+	for i := 0; i < 64; i++ {
+		c2.observeWalk(100, 4*time.Microsecond)   // 40 ns/node
+		c2.observeCopy(1000, 64*time.Microsecond) // 64 ns/word
+	}
+	st := objects.OrderedMapSpec{}.New()
+	for k := uint64(1); k <= 2000; k++ {
+		st.Apply(spec.Op{Code: objects.OMapPut, Args: [3]uint64{k, k}})
+	}
+	thr := c2.threshold(st)
+	if thr <= adoptLagFloor || thr >= adoptLagCeil {
+		t.Fatalf("scaled threshold = %d, want strictly between clamps (%d, %d)", thr, adoptLagFloor, adoptLagCeil)
+	}
+	// Roughly words * 64/40: the hint is ~4001 words.
+	if lo, hi := uint64(2000), uint64(20000); thr < lo || thr > hi {
+		t.Fatalf("scaled threshold = %d for a ~4000-word state at 64ns/word vs 40ns/node; want within [%d, %d]", thr, lo, hi)
+	}
+
+	// A Sizer-less state uses the last observed copy size.
+	thrFat := c2.threshold(fatState{st})
+	if thrFat == adoptFixedMinLag || thrFat < adoptLagFloor || thrFat > adoptLagCeil {
+		t.Fatalf("sizer-less threshold = %d, want a copyWords-based estimate", thrFat)
+	}
+
+	// Outlier clamps: a descheduled walk cannot blow up the estimate.
+	var c3 adoptCosts
+	c3.observeWalk(1, time.Second)
+	if got := c3.nodeNsQ8.Load(); got != maxNodeNsQ8 {
+		t.Fatalf("walk outlier stored %d, want clamp %d", got, maxNodeNsQ8)
+	}
+	c3.observeCopy(1, time.Second)
+	if got := c3.wordNsQ8.Load(); got != maxWordNsQ8 {
+		t.Fatalf("copy outlier stored %d, want clamp %d", got, maxWordNsQ8)
+	}
+}
+
+func TestEWMAConvergesAndNeverStalls(t *testing.T) {
+	var c adoptCosts
+	for i := 0; i < 200; i++ {
+		c.observeWalk(10, 10*1000*time.Nanosecond) // 1000 ns/node
+	}
+	got := c.nodeNsQ8.Load() >> 8
+	if got < 900 || got > 1100 {
+		t.Fatalf("EWMA converged to %d ns/node, want ~1000", got)
+	}
+	// Tiny deltas must still move the estimator (the ±1 nudge).
+	before := c.nodeNsQ8.Load()
+	c.observeWalk(10, 10*1001*time.Nanosecond)
+	if c.nodeNsQ8.Load() == before {
+		t.Fatal("EWMA stalled on a sub-alpha delta")
+	}
+}
+
+func TestAdoptPolicyValidation(t *testing.T) {
+	pool := pmem.New(1<<22, nil)
+	if _, err := New(pool, objects.CounterSpec{}, Config{
+		NProcs: 1, ReadFastPath: true, AdoptPolicy: AdoptPolicy{FixedMinLag: -1},
+	}); err == nil {
+		t.Fatal("negative FixedMinLag accepted")
+	}
+	if _, err := New(pool, objects.CounterSpec{}, Config{
+		NProcs: 1, ReadFastPath: true, AdoptPolicy: AdoptPolicy{PublishLag: -2},
+	}); err == nil {
+		t.Fatal("negative PublishLag accepted")
+	}
+	// A fixed policy must not pay for the cost model.
+	in, err := New(pool, objects.CounterSpec{}, Config{
+		NProcs: 1, ReadFastPath: true, AdoptPolicy: AdoptPolicy{FixedMinLag: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.costs != nil {
+		t.Fatal("fixed-threshold instance allocated a cost model")
+	}
+	if got := in.Handle(0).adoptThreshold(); got != 7 {
+		t.Fatalf("fixed threshold = %d, want 7", got)
+	}
+	// The adaptive default does.
+	in2, err := New(pool, objects.CounterSpec{}, Config{NProcs: 1, ReadFastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.costs == nil {
+		t.Fatal("adaptive instance has no cost model")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/plog"
 	"repro/internal/pmem"
@@ -54,9 +55,10 @@ const (
 	PointOrdered   = "onll.ordered"   // after the order stage
 	PointPersisted = "onll.persisted" // after the persist stage (the fence)
 	PointReturn    = "op.return"      // just before an operation returns
-	PointPublish   = "onll.publish"   // before acquiring the shared-view slot to publish
+	PointPublish   = "onll.publish"   // before acquiring the shared-view slot to publish/stamp
 	PointAdopt     = "onll.adopt"     // before acquiring the shared-view slot to adopt
 	PointSlotCopy  = "onll.slot-copy" // holding the slot, before the state copy
+	PointSlotRead  = "onll.slot-read" // before acquiring the shared-view slot to serve a read
 )
 
 // Root-table layout used to locate the construction after a crash.
@@ -117,7 +119,14 @@ type Config struct {
 	//     latest published view (a seqlock-style shared slot: publishers
 	//     and adopters acquire it with one CAS and fall back to the
 	//     ordinary suffix walk on contention) instead of replaying the
-	//     whole suffix node by node.
+	//     whole suffix node by node. Updaters feed the slot too (damped
+	//     by AdoptPolicy.PublishLag), so it tracks the insert frontier
+	//     under churn; validating reads stamp the slot with the epoch
+	//     they just proved it current for, letting other handles serve
+	//     (and profitably adopt) straight from the slot without any
+	//     walk; and the adoption threshold is cost-aware by default
+	//     (AdoptPolicy, adoptpolicy.go) — copy cost vs replay cost
+	//     learned per instance — instead of one fixed constant.
 	//
 	// Reads stay fence-free and allocation-free; pfences/op is
 	// unchanged (updates 1, reads 0). The flat-combining and eager
@@ -125,6 +134,12 @@ type Config struct {
 	// equivalent, so E6/E7 keep comparing against the unassisted
 	// designs the paper describes.
 	ReadFastPath bool
+	// AdoptPolicy tunes the read fast path's shared-view economics
+	// (adoptpolicy.go): the zero value selects the cost-aware adaptive
+	// adoption threshold and damped update-side publication; the
+	// pre-adaptive fixed threshold is AdoptPolicy{FixedMinLag: 32}.
+	// Ignored unless ReadFastPath is set.
+	AdoptPolicy AdoptPolicy
 	// CompactEvery, if positive, makes each handle write a snapshot
 	// record and truncate its log every CompactEvery updates, and cut
 	// the trace behind the snapshot (Section 8 memory reclamation).
@@ -154,6 +169,12 @@ func (c *Config) fill() error {
 	if c.LogInlineOps < 0 {
 		return fmt.Errorf("core: LogInlineOps %d negative", c.LogInlineOps)
 	}
+	if c.AdoptPolicy.FixedMinLag < 0 {
+		return fmt.Errorf("core: AdoptPolicy.FixedMinLag %d negative", c.AdoptPolicy.FixedMinLag)
+	}
+	if c.AdoptPolicy.PublishLag < 0 {
+		return fmt.Errorf("core: AdoptPolicy.PublishLag %d negative", c.AdoptPolicy.PublishLag)
+	}
 	if c.LogCapacity == 0 {
 		c.LogCapacity = 1 << 12
 	}
@@ -178,6 +199,9 @@ type Instance struct {
 	logs  []*plog.Log
 	hands []*Handle
 	pub   *pubView // shared latest-view slot (ReadFastPath only, else nil)
+	// costs is the adaptive adoption cost model (nil when the fast
+	// path is off or AdoptPolicy pins a fixed threshold).
+	costs *adoptCosts
 }
 
 // New builds a fresh instance of sp on pool. Setup durably writes the
@@ -188,9 +212,7 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
-	if cfg.ReadFastPath {
-		in.pub = &pubView{}
-	}
+	in.initFastPath()
 	if cfg.WaitFree {
 		in.tr = trace.NewWaitFree(cfg.Gate, cfg.NProcs)
 	} else {
@@ -208,6 +230,21 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 	pool.SetRoot(rootMagicSlot, rootMagic)
 	in.makeHandles(nil)
 	return in, nil
+}
+
+// initFastPath wires the read fast path's shared machinery: the
+// latest-view slot (always reset — a slot must never be born held; see
+// pubView.reset) and the cost model when the adaptive adoption policy
+// is selected.
+func (in *Instance) initFastPath() {
+	if !in.cfg.ReadFastPath {
+		return
+	}
+	in.pub = &pubView{}
+	in.pub.reset()
+	if in.cfg.AdoptPolicy.FixedMinLag == 0 {
+		in.costs = &adoptCosts{}
+	}
 }
 
 func (in *Instance) makeHandles(seqs map[int]uint64) {
@@ -283,10 +320,11 @@ type Handle struct {
 	// or recovered handles), forcing the first read onto the walk.
 	// adopt is the scratch state adoption copies into (the view and the
 	// scratch swap roles on success, so a copy torn by contention never
-	// replaces a good view); adoptions counts successful adoptions.
+	// replaces a good view); adoptions counts successful adoptions
+	// (atomic so Instance.FastPathStats can sum mid-run).
 	seenEpoch uint64
 	adopt     spec.State
-	adoptions uint64
+	adoptions atomic.Uint64
 
 	// Scratch buffers reused across operations (a Handle runs one
 	// operation at a time, enforced by busy), keeping steady-state
@@ -419,6 +457,14 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	// available node from the tail, not a fixed one.
 	ret = h.computeUpdate(node)
 
+	// Offer the freshly caught-up view to the shared slot (damped): the
+	// updater just paid the replay to its own node anyway, and under
+	// frontier-chasing churn this — not the rare long read catch-up —
+	// is what keeps the published view adoptably fresh.
+	if in.pub != nil && h.view != nil && !in.cfg.AdoptPolicy.DisableUpdatePublish {
+		h.publishFromUpdate()
+	}
+
 	if in.cfg.CompactEvery > 0 {
 		h.sinceCompact++
 		if h.sinceCompact >= in.cfg.CompactEvery {
@@ -462,15 +508,29 @@ func (h *Handle) Read(code uint64, args ...uint64) uint64 {
 			in.gate.Step(h.pid, PointReturn)
 			return ret
 		}
+		// The handle's own view is stale, but the shared slot may have
+		// been validated against this very epoch by another handle's
+		// read — then the slot IS the latest available prefix and this
+		// read needs no walk at all (fastpath.go).
+		if ret, ok := h.tryServeSlot(epoch, op); ok {
+			in.gate.Step(h.pid, PointReturn)
+			return ret
+		}
 	}
 	// Publish the walk floor BEFORE any trace read (sequentially
 	// consistent store): reclamation reads it to prove quiescence.
-	h.floor.Store(h.viewIdx)
+	oldFloor := h.viewIdx
+	h.floor.Store(oldFloor)
 	defer h.floor.Store(^uint64(0))
 	node := trace.LatestAvailableFrom(in.gate, h.pid, in.tr.Tail(h.pid))
 	ret := h.computeRead(node, op)
 	if fast {
 		h.seenEpoch = epoch
+		// Share the validation: stamp (and, if cheap, advance) the
+		// shared slot against the epoch this walk just validated, so
+		// the other handles' next reads can be served from the slot
+		// instead of each replaying the same suffix privately.
+		h.tryStampSlot(epoch, node, oldFloor)
 	}
 	in.gate.Step(h.pid, PointReturn)
 	return ret
@@ -480,7 +540,7 @@ func (h *Handle) Read(code uint64, args ...uint64) uint64 {
 // advancing the local view when enabled.
 func (h *Handle) computeUpdate(node *trace.Node) uint64 {
 	if h.view != nil && h.viewIdx < node.Idx() {
-		return h.advanceView(node)
+		return h.advanceView(node, true)
 	}
 	// Fresh replay (no local views, or — defensively — a view that has
 	// somehow moved past node).
@@ -503,7 +563,7 @@ func (h *Handle) computeUpdate(node *trace.Node) uint64 {
 func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 	if h.view != nil {
 		if h.viewIdx < node.Idx() {
-			h.advanceView(node)
+			h.advanceView(node, false)
 		}
 		// If viewIdx > node.Idx(), the view already reflects
 		// operations this process has itself observed as linearized;
@@ -529,13 +589,33 @@ func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 // local view and returns the value of the last one applied (node's own
 // operation). If the walk meets a compaction base newer than the view,
 // the view is restored from the base first. With the read fast path
-// enabled, a handle lagging far behind first tries to adopt the
-// instance's published view (cutting the replay to the distance from
-// the publication point), and a handle that just finished a long
-// catch-up publishes its view so the next laggard can adopt it.
-func (h *Handle) advanceView(node *trace.Node) uint64 {
-	if h.in.pub != nil && node.Idx() > h.viewIdx && node.Idx()-h.viewIdx > adoptMinLag {
-		h.tryAdopt(node)
+// enabled, a handle lagging beyond the adoption threshold (cost-aware
+// by default, adoptpolicy.go) first tries to adopt the instance's
+// published view (cutting the replay to the distance from the
+// publication point), and a handle that just finished a long catch-up
+// publishes its view so the next laggard can adopt it. When the cost
+// model is live, the apply loop is timed — gate steps never fall
+// inside the timed region, so deterministic schedulers cannot inflate
+// the samples — feeding the per-node replay cost estimate.
+//
+// forUpdate distinguishes the two callers: an update must end with
+// node's own operation applied by this handle (its return value is the
+// update's), so adoption stays strictly below node; a read only needs
+// the view AT node, so it may adopt a publication sitting exactly
+// there — under frontier-chasing churn the slot is almost always
+// published at the latest available node, and the strict bound would
+// turn the fast path off for exactly the reads it should relieve.
+func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
+	if h.in.pub != nil {
+		if lag := node.DistanceFrom(h.viewIdx); lag > 0 {
+			if thr := h.adoptThreshold(); lag > thr {
+				maxIdx := node.Idx()
+				if forUpdate {
+					maxIdx--
+				}
+				h.tryAdopt(node, thr, maxIdx)
+			}
+		}
 	}
 	nodes, base := trace.CollectBackInto(h.nodeBuf, node, h.viewIdx)
 	h.nodeBuf = nodes
@@ -546,6 +626,11 @@ func (h *Handle) advanceView(node *trace.Node) uint64 {
 		h.viewIdx = base.Idx()
 		mergeSeqs(h.viewSeqs, base.Seqs)
 	}
+	var walkStart time.Time
+	sample := h.in.costs != nil && len(nodes) >= costSampleMinNodes
+	if sample {
+		walkStart = time.Now()
+	}
 	ret := spec.RetOK
 	for _, n := range nodes {
 		ret = h.view.Apply(n.Op)
@@ -554,10 +639,23 @@ func (h *Handle) advanceView(node *trace.Node) uint64 {
 			h.viewSeqs[pid] = seq
 		}
 	}
+	if sample {
+		h.in.costs.observeWalk(len(nodes), time.Since(walkStart))
+	}
 	if h.in.pub != nil && len(nodes) > publishMinLag {
 		h.tryPublish()
 	}
 	return ret
+}
+
+// adoptThreshold returns the minimum published-view lead (in trace
+// nodes) for adoption to be attempted: the configured fixed constant,
+// or the instance cost model's current estimate.
+func (h *Handle) adoptThreshold() uint64 {
+	if fl := h.in.cfg.AdoptPolicy.FixedMinLag; fl > 0 {
+		return uint64(fl)
+	}
+	return h.in.costs.threshold(h.view)
 }
 
 // newNode returns a trace node for op, reusing a pooled node when the
@@ -841,9 +939,7 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 	}
 
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
-	if cfg.ReadFastPath {
-		in.pub = &pubView{}
-	}
+	in.initFastPath()
 	var records []plog.Record
 	for pid := 0; pid < nprocs; pid++ {
 		base := pmem.Addr(pool.Root(rootLogBase + pid))

@@ -1,6 +1,6 @@
 package core
 
-// The read fast path (Config.ReadFastPath, DESIGN.md §3.5) has two
+// The read fast path (Config.ReadFastPath, DESIGN.md §3.5–3.6) has two
 // halves. The epoch check lives in Read/advanceView in core.go: the
 // trace bumps a publication epoch on every linearize stage, and a read
 // whose handle has already validated its view against the current epoch
@@ -20,8 +20,27 @@ package core
 // Adopters copy into a handle-private scratch state and swap it with
 // the view only after a successful copy, so a failed acquisition never
 // leaves a torn view behind.
+//
+// The slot is fed from three sides: updaters that just caught their
+// view up in computeUpdate (damped by publishFromUpdate, so the slot
+// tracks the insert frontier under churn), readers that paid for a
+// long catch-up walk, and compaction (which is exactly caught up at
+// the cut). Adoption is gated by the cost model in adoptpolicy.go.
+//
+// Compaction safety: the slot holds a value copy of a state plus an
+// execution index — never a node pointer — so a compaction cut (or the
+// compactForSpace pressure valve, which truncates logs without cutting
+// the trace) can never leave it dangling into recycled nodes. A
+// publication older than a later cut's base is merely useless, not
+// unsafe: an adopter that takes it walks the remaining suffix, meets
+// the (younger, available) base first, and restores from the base,
+// discarding the adopted prefix — TestAdoptionAcrossCompactionCut pins
+// this interleaving deterministically. compact republishes at the cut
+// index anyway, so the stale window is one slot write wide.
 
 import (
+	"time"
+
 	"sync/atomic"
 
 	"repro/internal/spec"
@@ -34,17 +53,12 @@ import (
 // reach it.
 const epochNever = ^uint64(0)
 
-const (
-	// adoptMinLag is the minimum view lag (in trace nodes) before a
-	// handle tries adoption: below it, replaying the suffix is cheaper
-	// than copying a whole state.
-	adoptMinLag = 32
-	// publishMinLag is the minimum number of nodes an advanceView must
-	// have replayed before it publishes its view: a handle that just
-	// paid for a long catch-up shares the result, handles ticking along
-	// one node at a time never pay the publication copy.
-	publishMinLag = 32
-)
+// publishMinLag is the minimum number of nodes an advanceView must
+// have replayed before it publishes its view from the read side: a
+// handle that just paid for a long catch-up shares the result, handles
+// ticking along one node at a time never pay the publication copy.
+// (Updaters publish through the publishFromUpdate damper instead.)
+const publishMinLag = 32
 
 // pubView is the instance's shared latest-view slot.
 type pubView struct {
@@ -52,11 +66,69 @@ type pubView struct {
 	// and adopters both acquire with one CAS and fall back (no retry,
 	// no spin) on failure.
 	ver atomic.Uint64
+	// frontier mirrors idx outside the slot: publishers store it while
+	// holding ver, anyone may load it without acquiring. It exists so
+	// the update-side publication damper (and tests) can read how far
+	// the slot lags without touching the CAS.
+	frontier atomic.Uint64
+	// epochHint mirrors epoch outside the slot (stored by stampers
+	// while holding ver): tryServeSlot pre-checks it with a plain load
+	// so the can't-serve case — every read while the slot's stamp is
+	// stale, i.e. most reads of a write-heavy mix — costs no RMW on the
+	// shared line. The authoritative comparison still happens under the
+	// slot; the hint can only cause a harmless miss.
+	epochHint atomic.Uint64
+	// publishes counts successful publications, stamps epoch-validated
+	// slot advances, serves reads answered straight from the slot
+	// (diagnostics/tests).
+	publishes atomic.Uint64
+	stamps    atomic.Uint64
+	serves    atomic.Uint64
 	// The payload below is written and read only while holding ver.
-	state     spec.State
-	idx       uint64
-	seqs      []uint64
-	publishes uint64 // successful publications (diagnostics/tests)
+	state spec.State
+	idx   uint64
+	seqs  []uint64
+	// Demand damper for stamp-time slot advances: advancing the slot
+	// re-applies every missed operation into the shared state, work
+	// that only pays while other handles are consuming served reads.
+	// servesSeen is the serves count at the last advance; probe counts
+	// stamps skipped since. When serves stop moving, advances stop too
+	// (stamping a slot that is already caught up stays free), with one
+	// probe advance per slotProbeEvery skips so a demand shift is
+	// noticed.
+	servesSeen uint64
+	probe      uint32
+	// epoch is the publication epoch the slot state is validated
+	// against: a value loaded BEFORE the walk (or incremental advance)
+	// that brought the state to idx, exactly the per-handle seenEpoch
+	// rule lifted to the shared view. While Epoch() still equals it, no
+	// operation has been published since, so the slot state IS the
+	// latest available prefix and a read may be served from it without
+	// touching the trace (tryServeSlot). Meaningful only while state is
+	// non-nil; it only ever increases.
+	epoch uint64
+}
+
+// reset returns the slot to its initial free state, dropping any
+// publication. New and Recover call it for every instance (via
+// makeHandles) so a slot can never be BORN held: within a run a holder
+// killed between acquire and release (a crash gate firing at
+// PointSlotCopy) leaves the version odd and merely disables the
+// optimization until the crash completes — contenders never wait on
+// the slot — but recovery must not inherit that dead lock, and the
+// recovered trace's indices restart relative to a new base anyway.
+// check's TestSlotHolderCrashRecovery pins adoptions > 0 after exactly
+// that crash.
+func (p *pubView) reset() {
+	p.state = nil
+	p.idx = 0
+	p.seqs = nil
+	p.epoch = 0
+	p.servesSeen = 0
+	p.probe = 0
+	p.epochHint.Store(0)
+	p.frontier.Store(0)
+	p.ver.Store(0)
 }
 
 // tryAcquire takes the slot if it is free, returning the even version
@@ -72,6 +144,40 @@ func (p *pubView) tryAcquire() (uint64, bool) {
 // release frees the slot, advancing the version past v+1.
 func (p *pubView) release(v uint64) { p.ver.Store(v + 2) }
 
+// publishFromUpdate offers the updater's freshly caught-up view to the
+// shared slot at the end of an update: computeUpdate just advanced the
+// view to the update's own node, so the handle holds — for free — the
+// very state a lagging reader wants, and publishing here is what makes
+// the slot track the insert frontier under churn instead of only
+// benefiting from rare long read-side catch-ups. The damper is one
+// atomic load: publish only when the slot trails this view by at least
+// the damper's node count, so a storm of hot updaters touches the slot
+// CAS (and pays the state copy) at most once per that many frontier
+// advances instead of serializing on every update. The damper is
+// AdoptPolicy.PublishLag when pinned; the adaptive default scales with
+// the adoption threshold (see publishCostFactor), bottoming out at
+// defaultPublishLag.
+func (h *Handle) publishFromUpdate() {
+	p := h.in.pub
+	front := p.frontier.Load()
+	if h.viewIdx <= front {
+		return
+	}
+	damper := uint64(h.in.cfg.AdoptPolicy.PublishLag)
+	if damper == 0 {
+		damper = defaultPublishLag
+		if h.in.costs != nil {
+			if d := publishCostFactor * h.in.costs.threshold(h.view); d > damper {
+				damper = d
+			}
+		}
+	}
+	if h.viewIdx-front < damper {
+		return
+	}
+	h.tryPublish()
+}
+
 // tryPublish offers the handle's current view to the shared slot. It
 // only ever moves the publication forward (a stale view never replaces
 // a newer one) and skips silently on contention.
@@ -80,8 +186,10 @@ func (p *pubView) release(v uint64) { p.ver.Store(v + 2) }
 // the slot and again while holding it, so deterministic schedulers can
 // preempt — or crash-inject — between the acquire and the copy.
 // Suspending (or killing) a holder at a gate blocks nobody: contenders
-// fall back to the suffix walk instead of waiting, and a slot left
-// permanently odd by a killed process only disables the optimization.
+// fall back to the suffix walk instead of waiting. A slot left
+// permanently odd by a killed process disables the optimization for
+// the remainder of that run only — construction and recovery reset the
+// slot (pubView.reset), so the next era starts with it free.
 func (h *Handle) tryPublish() {
 	h.in.gate.Step(h.pid, PointPublish)
 	p := h.in.pub
@@ -90,55 +198,269 @@ func (h *Handle) tryPublish() {
 		return
 	}
 	if h.viewIdx > p.idx {
-		if p.state == nil {
-			p.state = h.in.sp.New()
-		}
-		h.in.gate.Step(h.pid, PointSlotCopy)
-		spec.Copy(p.state, h.view)
-		p.idx = h.viewIdx
-		if cap(p.seqs) < len(h.viewSeqs) {
-			p.seqs = make([]uint64, len(h.viewSeqs))
-		}
-		p.seqs = p.seqs[:len(h.viewSeqs)]
-		copy(p.seqs, h.viewSeqs)
-		p.publishes++
+		h.installView(p)
+		p.frontier.Store(p.idx)
+		p.publishes.Add(1)
 	}
 	p.release(v)
+}
+
+// copyClock starts a timing sample only when the cost model is live
+// (adaptive policy): the fixed policy must not pay two clock reads per
+// slot copy.
+func copyClock(c *adoptCosts) time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// copyPriced is the slot-copy protocol step shared by every slot-side
+// state copy (publish, adopt, serve-adopt, stamp): announce
+// PointSlotCopy — the caller holds the slot, so deterministic
+// schedulers can preempt or crash-inject a holder here — then copy src
+// into dst, feeding the cost model when it is live.
+func (h *Handle) copyPriced(dst, src spec.State) {
+	h.in.gate.Step(h.pid, PointSlotCopy)
+	start := copyClock(h.in.costs)
+	spec.Copy(dst, src)
+	if h.in.costs != nil {
+		h.in.costs.observeCopy(spec.SizeHint(dst), time.Since(start))
+	}
+}
+
+// installView copies h's whole view into the slot payload — state
+// (priced), execution index and covered-sequence vector — the shared
+// tail of every full-copy publication path. The seqs vector grows
+// append-style into the retained array: the slot outlives every
+// publisher, so a fresh make per growth would strand the old array,
+// and steady state (fixed NProcs) never allocates. Caller holds the
+// slot.
+func (h *Handle) installView(p *pubView) {
+	if p.state == nil {
+		p.state = h.in.sp.New()
+	}
+	h.copyPriced(p.state, h.view)
+	p.idx = h.viewIdx
+	p.seqs = append(p.seqs[:0], h.viewSeqs...)
 }
 
 // tryAdopt replaces the handle's view with a copy of the published one
 // when that cuts the replay distance to node. The copy only pays for
 // itself when it SAVES enough replay, so the published index must be
-// more than adoptMinLag ahead of the view — lag to node alone is not
+// more than minLag ahead of the view — lag to node alone is not
 // profitability (a publication one node ahead would cost a full state
-// copy to save a single Apply). It must also be strictly below node:
-// adopting past node would lose node's own return value (computeUpdate
-// needs it) and break compact's caught-up-at-node invariant. The copy
-// lands in the handle's scratch state and the two swap roles only on
-// success, so contention (acquire failure) costs nothing and can never
-// tear the live view.
-func (h *Handle) tryAdopt(node *trace.Node) {
+// copy to save a single Apply). minLag comes from the caller: the
+// instance's cost model (adoptpolicy.go) or the configured fixed
+// constant. The publication must also not sit past maxIdx — node.Idx()
+// for reads (the view only has to REACH node; equality makes the
+// remaining replay empty, the common case under churn where the slot
+// tracks the frontier), node.Idx()-1 for updates (adopting node's own
+// operation would lose its return value, which computeUpdate must
+// produce by applying it, and break compact's caught-up-at-node
+// invariant). The copy lands in the handle's scratch state and the two
+// swap roles only on success, so contention (acquire failure) costs
+// nothing and can never tear the live view.
+func (h *Handle) tryAdopt(node *trace.Node, minLag, maxIdx uint64) {
 	h.in.gate.Step(h.pid, PointAdopt)
 	p := h.in.pub
 	v, ok := p.tryAcquire()
 	if !ok {
 		return // contention: fall back to the plain suffix walk
 	}
-	if p.state == nil || p.idx <= h.viewIdx || p.idx-h.viewIdx <= adoptMinLag || p.idx >= node.Idx() {
+	if p.state == nil || p.idx <= h.viewIdx || p.idx-h.viewIdx <= minLag || p.idx > maxIdx {
 		p.release(v)
 		return
 	}
+	h.adoptSlot(p, v)
+}
+
+// adoptSlot completes an adoption while holding the slot: copy the
+// published state into the scratch, merge the covered-sequence vector
+// (published vectors are elementwise >= those of any older view —
+// prefixes only grow — but merge defensively rather than assume),
+// release, and only then swap scratch and view, so no failure mode can
+// tear the live view. Shared by tryAdopt and tryServeSlot's adopting
+// branch.
+func (h *Handle) adoptSlot(p *pubView, v uint64) {
 	if h.adopt == nil {
 		h.adopt = h.in.sp.New()
 	}
-	h.in.gate.Step(h.pid, PointSlotCopy)
-	spec.Copy(h.adopt, p.state)
+	h.copyPriced(h.adopt, p.state)
 	idx := p.idx
-	// Published seq vectors are elementwise >= those of any older view
-	// (prefixes only grow), but merge defensively rather than assume.
 	mergeSeqs(h.viewSeqs, p.seqs)
 	p.release(v)
 	h.view, h.adopt = h.adopt, h.view
 	h.viewIdx = idx
-	h.adoptions++
+	h.adoptions.Add(1)
+}
+
+// tryServeSlot answers a read through the shared slot: if the slot's
+// validation epoch still equals the epoch this read loaded before
+// looking at anything else, no operation has been published since the
+// slot state was brought up to date, so the slot IS the latest
+// available prefix — no trace walk, no per-handle replay of the
+// operations every other handle already applied. This is what makes
+// the fast path pay under frontier-chasing churn: a single validating
+// read advances and stamps the shared state once, and the other
+// handles ride it instead of each replaying the same suffix privately.
+//
+// Crucially, an epoch-valid slot also lets the handle VALIDATE ITS OWN
+// VIEW: if the view already sits at the slot index the two are the
+// same prefix and the epoch transfers for free; if the slot leads by
+// more than the adoption threshold the handle adopts the slot state
+// (the ordinary scratch-swap copy) and inherits the validation. Either
+// way seenEpoch is recorded and the handle's NEXT read takes the plain
+// own-view fast path — a served handle never gets stuck paying the
+// slot CAS per read. A lead too small to be worth a copy is left to
+// the walk, which is cheap at that distance and revalidates too.
+//
+// Monotonicity holds because the slot index only grows and serving
+// requires it at or past the handle's own view (which the handle's own
+// updates advance — that same check gives read-your-writes). On
+// contention the caller falls back to the ordinary walk.
+func (h *Handle) tryServeSlot(epoch uint64, op spec.Op) (uint64, bool) {
+	p := h.in.pub
+	if p.epochHint.Load() != epoch {
+		return 0, false // stale stamp: no RMW, straight to the walk
+	}
+	h.in.gate.Step(h.pid, PointSlotRead)
+	v, ok := p.tryAcquire()
+	if !ok {
+		return 0, false
+	}
+	if p.state == nil || p.epoch != epoch || p.idx < h.viewIdx {
+		p.release(v)
+		return 0, false
+	}
+	if p.idx > h.viewIdx {
+		if p.idx-h.viewIdx <= h.adoptThreshold() {
+			p.release(v) // cheaper to walk than to copy at this distance
+			return 0, false
+		}
+		p.serves.Add(1)
+		h.adoptSlot(p, v)
+	} else {
+		p.serves.Add(1)
+		p.release(v)
+	}
+	h.seenEpoch = epoch
+	return h.view.Read(op), true
+}
+
+// tryStampSlot validates the shared slot against epoch after a read's
+// catch-up walk: the caller loaded epoch BEFORE the walk that advanced
+// its view to node (so the view covers every operation the epoch
+// covers) and oldFloor is the walk floor it published on entry (its
+// view index before the walk — the reclamation cover for everything
+// the walk may dereference). Three cases, cheapest first:
+//
+//   - the slot is already at or past the view: stamp only (the slot
+//     state is a superset of the epoch's covered prefix — covered ops
+//     all sit at or below the validated node);
+//   - the slot is a short, cut-free, floor-covered distance behind:
+//     re-walk that gap and apply the missing operations INTO the slot
+//     state — one incremental advance serving every future slot read,
+//     instead of one replay per handle;
+//   - the gap is unbridgeable (crosses a compaction cut, dips under
+//     the reclamation floor) or beyond the cost model's threshold: a
+//     full copy of the view, priced exactly like an adoption.
+//
+// Anything else leaves the slot unstamped — readers simply keep
+// falling back to the walk, the pre-stamp behaviour.
+func (h *Handle) tryStampSlot(epoch uint64, node *trace.Node, oldFloor uint64) {
+	if h.viewIdx < node.Idx() {
+		return // defensive: the view did not reach the validated node
+	}
+	h.in.gate.Step(h.pid, PointPublish)
+	p := h.in.pub
+	v, ok := p.tryAcquire()
+	if !ok {
+		return
+	}
+	if p.state != nil && p.idx < h.viewIdx {
+		// Advance only under demand (see the damper fields): if no read
+		// has been served from the slot since the last advance, skip the
+		// work and leave the old state — the stamp below is then a no-op
+		// too (the state does not cover this epoch), which is exactly
+		// the pre-stamp behaviour.
+		if serves := p.serves.Load(); serves == p.servesSeen && p.probe < slotProbeEvery {
+			p.probe++
+			p.release(v)
+			return
+		}
+		advanced := false
+		if p.idx+1 >= oldFloor {
+			// The gap's nodes all sit at or above the published walk
+			// floor, so dereferencing them is covered by the same
+			// reclamation guarantee as the walk that just finished.
+			nodes, base := trace.CollectBackInto(h.nodeBuf, node, p.idx)
+			h.nodeBuf = nodes
+			// A non-nil base always sits above p.idx (CollectBackInto
+			// only reports a base it stopped at strictly past downTo),
+			// i.e. the gap crosses a cut: fall through to the copy path.
+			if base == nil {
+				for _, n := range nodes {
+					p.state.Apply(n.Op)
+					p.idx = n.Idx()
+					if pid, seq := spec.SplitID(n.Op.ID); pid >= 0 && pid < len(p.seqs) && seq > p.seqs[pid] {
+						p.seqs[pid] = seq
+					}
+				}
+				advanced = true
+			}
+		}
+		if !advanced {
+			if h.viewIdx-p.idx <= h.adoptThreshold() {
+				// Not worth a full copy; leave the slot unstamped.
+				p.release(v)
+				return
+			}
+			h.installView(p)
+		}
+		p.servesSeen = p.serves.Load()
+		p.probe = 0
+	}
+	if p.state == nil {
+		h.installView(p)
+		p.servesSeen = p.serves.Load()
+		p.probe = 0
+	}
+	if epoch > p.epoch {
+		p.epoch = epoch
+	}
+	p.epochHint.Store(p.epoch)
+	p.frontier.Store(p.idx)
+	p.stamps.Add(1)
+	p.release(v)
+}
+
+// FastPathStats reports the shared-slot activity of the read fast path
+// since construction: successful publications (from updates, long read
+// catch-ups and compaction), epoch stamps (validated slot advances),
+// reads served straight from the slot, and successful view adoptions
+// across all handles. Zero-valued when ReadFastPath is off. The
+// counters are atomic, so a mid-run call is safe, but the sums are
+// sampled independently (diagnostics and tests, not an invariant
+// surface).
+type FastPathStats struct {
+	Publishes uint64
+	Stamps    uint64
+	SlotReads uint64
+	Adoptions uint64
+}
+
+// FastPathStats implements the accessor on Instance.
+func (in *Instance) FastPathStats() FastPathStats {
+	var s FastPathStats
+	if in.pub == nil {
+		return s
+	}
+	s.Publishes = in.pub.publishes.Load()
+	s.Stamps = in.pub.stamps.Load()
+	s.SlotReads = in.pub.serves.Load()
+	for _, h := range in.hands {
+		s.Adoptions += h.adoptions.Load()
+	}
+	return s
 }

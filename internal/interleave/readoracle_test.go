@@ -127,6 +127,127 @@ func runReadOracle(t *testing.T, fast, wf bool, seed int64) {
 	}
 }
 
+// TestDurableReadOracleYCSBD is the read-latest (YCSB-D-shaped) leg of
+// the oracle: under fully deterministic seeded interleavings, each
+// process mints FRESH keys into the ordered map (its own disjoint key
+// region, like workload.YCSBD's streams) and reads chase recency —
+// mostly its own latest insert, sometimes the map size. This is the
+// churn shape where the update-side publication keeps the shared slot
+// on the insert frontier, so the run is repeated with it enabled and
+// disabled (core.AdoptPolicy.DisableUpdatePublish) and, in both modes,
+// every handle must preserve:
+//
+//   - read-your-writes: a get of a key this handle inserted returns
+//     the exact value it wrote (its region is private, so the value
+//     can never be overwritten by another process);
+//   - per-handle view monotonicity: the map size a handle observes
+//     never shrinks (keys are only ever inserted).
+//
+// An eager adoption threshold plus compaction forces serves, stamps,
+// adoptions and base restores to interleave with the scheduler's
+// preemptions; the final cross-check counts every insert.
+func TestDurableReadOracleYCSBD(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	if s := os.Getenv("ONLL_ORACLE_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad ONLL_ORACLE_SEEDS %q", s)
+		}
+		seeds = n
+	}
+	for _, noPub := range []bool{false, true} {
+		t.Run(fmt.Sprintf("updatePublish=%v", !noPub), func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				runReadLatestOracle(t, noPub, int64(seed))
+			}
+		})
+	}
+}
+
+func runReadLatestOracle(t *testing.T, noPub bool, seed int64) {
+	t.Helper()
+	const nprocs = 3
+	const perProc = 16
+	ctl := sched.NewController()
+	pool := pmem.New(1<<22, ctl)
+	in, err := core.New(pool, objects.OrderedMapSpec{}, core.Config{
+		NProcs: nprocs, Gate: ctl, ReadFastPath: true,
+		CompactEvery: 6, LogCapacity: 512,
+		AdoptPolicy: core.AdoptPolicy{
+			FixedMinLag:          2, // adopt eagerly: tiny runs must still exercise the slot
+			PublishLag:           1,
+			DisableUpdatePublish: noPub,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalInserts atomic.Uint64
+	outcomes := make([]<-chan any, nprocs)
+	for pid := 0; pid < nprocs; pid++ {
+		pid := pid
+		outcomes[pid] = ctl.Spawn(pid, func() {
+			h := in.Handle(pid)
+			rng := rand.New(rand.NewSource(seed*2689 + int64(pid)))
+			base := uint64(pid+1) << 20 // private fresh-key region
+			var minted uint64           // keys written so far (values = key*3+seq)
+			var sizeSeen uint64
+			for i := 0; i < perProc; i++ {
+				switch {
+				case rng.Intn(100) < 35:
+					minted++
+					k := base + minted
+					if _, _, err := h.Update(objects.OMapPut, k, k*3+minted); err != nil {
+						panic(fmt.Sprintf("put: %v", err))
+					}
+					totalInserts.Add(1)
+				case minted > 0:
+					// Recency read: rank skewed toward the newest insert.
+					r := uint64(rng.Intn(int(minted)))*uint64(rng.Intn(2)) + 1
+					k := base + minted - (r - 1)
+					want := k*3 + (minted - (r - 1))
+					if got := h.Read(objects.OMapGet, k); got != want {
+						t.Errorf("seed=%d noPub=%v p%d: get(own %#x) = %d, want %d (read-your-writes violated)",
+							seed, noPub, pid, k, got, want)
+					}
+				default:
+					got := h.Read(objects.OMapLen)
+					if got < sizeSeen {
+						t.Errorf("seed=%d noPub=%v p%d: len %d after observing %d (view regressed)",
+							seed, noPub, pid, got, sizeSeen)
+					}
+					sizeSeen = got
+				}
+			}
+		})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	live := make([]int, 0, nprocs)
+	for {
+		live = live[:0]
+		for pid := 0; pid < nprocs; pid++ {
+			if !ctl.Done(pid) {
+				live = append(live, pid)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		ctl.StepN(live[rng.Intn(len(live))], 1)
+	}
+	for _, ch := range outcomes {
+		if r := <-ch; r != nil {
+			t.Fatalf("seed=%d noPub=%v: process failed: %v", seed, noPub, r)
+		}
+	}
+	if got, want := in.Handle(0).Read(objects.OMapLen), totalInserts.Load(); got != want {
+		t.Fatalf("seed=%d noPub=%v: final size %d, want %d inserts", seed, noPub, got, want)
+	}
+}
+
 // TestDurableReadOracleCrashes drives the fast path through the
 // deterministic crash sweep: seeded interleavings crashed at several
 // points, recovered, and checked against Definition 5.6 — with the

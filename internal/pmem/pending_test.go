@@ -1,0 +1,61 @@
+package pmem
+
+import "testing"
+
+// TestPendingSetIndexCrossing pins the pending-set dedupe across the
+// linear-scan → index-map crossing (pendingScanMax): compaction
+// snapshots flush thousands of lines under one fence, which the old
+// always-linear scan turned O(lines²). The semantics must be identical
+// on both sides of the crossing: re-flushing a line REPLACES its
+// snapshot (the fence commits the newest flushed value, not the
+// first), every distinct line commits exactly once, and the set drains
+// for reuse.
+func TestPendingSetIndexCrossing(t *testing.T) {
+	const lines = 4 * pendingScanMax // far past the crossing
+	pool := New(lines*LineSize+1<<16, nil)
+	base := pool.MustAlloc(lines * LineSize)
+	pid := 0
+
+	write := func(round uint64) {
+		for i := 0; i < lines; i++ {
+			a := base + Addr(i*LineSize)
+			pool.Store(pid, a, round*1000+uint64(i))
+			pool.Flush(pid, a)
+		}
+	}
+	// Two rounds before one fence: every line is flushed twice, the
+	// second flush crossing into (and hitting) the index map. The
+	// committed values must be round 2's.
+	write(1)
+	write(2)
+	if got, want := len(pool.pending[pid].entries), lines; got != want {
+		t.Fatalf("pending set holds %d entries after dedupe, want %d", got, want)
+	}
+	st := pool.StatsOf(pid)
+	pool.Fence(pid)
+	if got := pool.StatsOf(pid).LinesPersisted - st.LinesPersisted; got != lines {
+		t.Fatalf("fence persisted %d lines, want %d", got, lines)
+	}
+	for i := 0; i < lines; i++ {
+		a := base + Addr(i*LineSize)
+		if got, want := pool.DurableWord(a), 2000+uint64(i); got != want {
+			t.Fatalf("line %d durable word %d, want %d (stale snapshot survived the dedupe)", i, got, want)
+		}
+	}
+	// Drained for reuse: the next small batch dedupes linearly again.
+	if got := len(pool.pending[pid].entries); got != 0 {
+		t.Fatalf("pending set not drained: %d entries", got)
+	}
+	a := base
+	pool.Store(pid, a, 7)
+	pool.Flush(pid, a)
+	pool.Store(pid, a, 8)
+	pool.Flush(pid, a)
+	if got := len(pool.pending[pid].entries); got != 1 {
+		t.Fatalf("small-set dedupe broken after drain: %d entries, want 1", got)
+	}
+	pool.Fence(pid)
+	if got := pool.DurableWord(a); got != 8 {
+		t.Fatalf("durable word %d, want 8", got)
+	}
+}

@@ -178,10 +178,67 @@ type pendingEntry struct {
 // is reused across fences, so the steady-state flush/fence cycle is
 // allocation-free. The mutex exists only for Crash/WriteImage (which
 // quiesce all processes); a process's own Flush/Fence never contend.
+//
+// Re-flushing a line must replace its snapshot, so Flush dedupes
+// against the set. The ordinary update cycle pends a handful of lines
+// between fences and a linear scan is the fastest possible dedupe —
+// but a compaction snapshot flushes its whole state region (thousands
+// of lines for a grown object) under one fence, where scanning per
+// flush turns the region write-back quadratic. Past pendingScanMax
+// entries the set therefore switches to a line→slot index map, built
+// once at the crossing and maintained incrementally; the map is
+// retained (emptied, not dropped) across fences so a snapshot-heavy
+// process allocates it once.
 type pidPending struct {
 	mu      sync.Mutex
 	entries []pendingEntry
-	_       [4]uint64 // pad to 64 bytes: no false sharing between pids
+	index   map[uint64]int // line -> entries slot; live iff len(entries) > pendingScanMax
+	_       [3]uint64      // pad to 64 bytes: no false sharing between pids
+}
+
+// pendingScanMax is the largest pending set deduped by linear scan.
+// Update records span few lines (slot + tail + header); 32 covers
+// every non-snapshot append with headroom while keeping the common
+// path free of map traffic.
+const pendingScanMax = 32
+
+// add records a flushed line snapshot, replacing the line's previous
+// entry if present. Caller holds pp.mu.
+func (pp *pidPending) add(li uint64, words [LineWords]uint64) {
+	if len(pp.entries) <= pendingScanMax {
+		for i := range pp.entries {
+			if pp.entries[i].line == li {
+				pp.entries[i].words = words
+				return
+			}
+		}
+		pp.entries = append(pp.entries, pendingEntry{line: li, words: words})
+		if len(pp.entries) > pendingScanMax {
+			// Crossing: index everything pended so far.
+			if pp.index == nil {
+				pp.index = make(map[uint64]int, 2*pendingScanMax)
+			}
+			for i := range pp.entries {
+				pp.index[pp.entries[i].line] = i
+			}
+		}
+		return
+	}
+	if i, ok := pp.index[li]; ok {
+		pp.entries[i].words = words
+		return
+	}
+	pp.index[li] = len(pp.entries)
+	pp.entries = append(pp.entries, pendingEntry{line: li, words: words})
+}
+
+// drain empties the set (fence commit, crash discard), keeping the
+// entries array and the index map for reuse. Caller holds pp.mu.
+func (pp *pidPending) drain() {
+	pp.entries = pp.entries[:0]
+	if len(pp.index) > 0 {
+		clear(pp.index)
+	}
 }
 
 // Pool is one simulated NVM device plus the volatile cache in front of
@@ -451,15 +508,7 @@ func (p *Pool) Flush(pid int, addr Addr) {
 	pp := &p.pending[pid]
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	// Re-flushing a line replaces its snapshot (linear scan: pending sets
-	// are tiny — a handful of lines between fences).
-	for i := range pp.entries {
-		if pp.entries[i].line == li {
-			pp.entries[i].words = words
-			return
-		}
-	}
-	pp.entries = append(pp.entries, pendingEntry{line: li, words: words})
+	pp.add(li, words)
 	// The line remains cached and dirty (later stores may re-dirty it
 	// relative to the snapshot); a fence commits the snapshot.
 }
@@ -503,7 +552,7 @@ func (p *Pool) Fence(pid int) {
 		mu.Unlock()
 		s.linesPersisted.Add(1)
 	}
-	pp.entries = pp.entries[:0]
+	pp.drain()
 }
 
 // FlushRange issues asynchronous, unordered write-backs for every line
@@ -581,7 +630,7 @@ func (p *Pool) Crash(oracle Oracle) {
 				copy(p.persistent[base:base+LineWords], e.words[:])
 			}
 		}
-		pp.entries = pp.entries[:0]
+		pp.drain()
 	}
 	// Dirty lines never flushed: an uncontrolled eviction may have
 	// written them back at any point; the oracle models that too.

@@ -103,6 +103,28 @@ type Copier interface {
 	CopyFrom(src State)
 }
 
+// Sizer is an optional State extension paired with Copier: SizeHint
+// returns the approximate size of the state in 64-bit words — the
+// volume one Copy into a same-shaped receiver moves. It must be O(1)
+// and allocation-free: core's cost-aware adoption policy consults it
+// on the read path to price a state copy against replaying the trace
+// suffix, so it may be called before every lagging read. The hint is
+// an estimate (capacity vs live entries, table overheads), not a wire
+// format; only its magnitude matters.
+type Sizer interface {
+	SizeHint() int
+}
+
+// SizeHint returns st's size hint in words, or 0 when st does not
+// implement Sizer (callers must treat 0 as "unknown", never as
+// "empty" — an empty sized state still reports its fixed overhead).
+func SizeHint(st State) int {
+	if s, ok := st.(Sizer); ok {
+		return s.SizeHint()
+	}
+	return 0
+}
+
 // Copy replaces dst's contents with src's, via Copier when dst supports
 // it and through the snapshot wire format otherwise.
 func Copy(dst, src State) {
