@@ -40,6 +40,20 @@ type HarnessConfig struct {
 	// roughly one write-back per EvictionRate stores (seeded by Seed):
 	// data may become durable earlier than fenced, never later.
 	EvictionRate uint64
+	// FaultCount, if positive, injects that many seeded media faults
+	// (pmem.PlanFaults, seeded by FaultSeed) into the durable image
+	// after the crash and before recovery. The plan targets the
+	// allocated span below the bump frontier, excluding the root table
+	// (a real system keeps that tiny fixed region redundant; the
+	// checksummed structures under test are the logs). Fault runs
+	// recover in salvage mode, and RunCrash skips its built-in
+	// durability check — the fault sweep applies its own three-outcome
+	// oracle (fault_sweep_test.go).
+	FaultCount int
+	FaultSeed  uint64
+	// Salvage recovers in salvage mode even without faults (clean
+	// crashes must classify Healthy and pass the same checks).
+	Salvage bool
 }
 
 // HarnessResult carries the artifacts of one run, so tests can make
@@ -50,6 +64,11 @@ type HarnessResult struct {
 	Pool     *pmem.Pool
 	Instance *core.Instance // post-recovery instance (nil if no crash)
 	Steps    uint64
+	// FaultPlan is the injected plan (empty unless FaultCount > 0).
+	FaultPlan pmem.FaultPlan
+	// RecoverErr is the recovery error when recovery itself failed (the
+	// run error wraps it; kept here so sweeps can inspect it).
+	RecoverErr error
 }
 
 // poolSizeFor sizes a pool generously for the run, honouring the
@@ -57,7 +76,14 @@ type HarnessResult struct {
 // than the two-tier default).
 func poolSizeFor(cfg HarnessConfig) (int, int) {
 	logCap := cfg.OpsPerProc*2 + 64
-	size := cfg.NProcs*plog.RegionBytesInline(logCap, cfg.NProcs, cfg.LogInlineOps)*2 + (1 << 21)
+	mult := 2
+	if cfg.FaultCount > 0 {
+		// A quarantined fault run may Recreate — a full second set of
+		// logs from a bump allocator that never reclaims — on top of
+		// possible ring growth under pressure.
+		mult = 4
+	}
+	size := cfg.NProcs*plog.RegionBytesInline(logCap, cfg.NProcs, cfg.LogInlineOps)*mult + (1 << 21)
 	return size, logCap
 }
 
@@ -119,14 +145,27 @@ func RunCrash(cfg HarnessConfig) (*HarnessResult, error) {
 	// and the post-crash era run on a fresh, free-running pool gate —
 	// the pre-crash machine's scheduler died with it.
 	pool.SetGate(nil)
+	if cfg.FaultCount > 0 {
+		rootLines := uint64(pmem.RootSlots * pmem.WordSize / pmem.LineSize)
+		res.FaultPlan = pmem.PlanFaults(cfg.FaultSeed, cfg.FaultCount, rootLines, pool.AllocatedLines())
+		pool.InjectFaults(res.FaultPlan)
+	}
 	in2, rep, err := core.Recover(pool, cfg.Spec, core.Config{
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
 		ReadFastPath: cfg.ReadFastPath,
+		Salvage:      cfg.Salvage || cfg.FaultCount > 0,
 	})
 	if err != nil {
+		res.RecoverErr = err
 		return res, fmt.Errorf("recovery failed: %w", err)
 	}
 	res.Report, res.Instance = rep, in2
+	if cfg.FaultCount > 0 {
+		// Faulty recoveries classify three ways (Healthy / Degraded /
+		// Quarantined); the built-in pass/fail oracle below does not
+		// apply. The fault sweep runs its own check.
+		return res, nil
+	}
 	rec := MakeRecovered(rep.Ordered)
 	rec.BaseState, rec.CoveredSeq = rep.BaseState, rep.CoveredSeq
 	if err := CheckDurable(cfg.Spec, res.History, rec); err != nil {

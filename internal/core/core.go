@@ -69,6 +69,30 @@ const (
 	rootMagic      = 0x4f4e4c4c0001
 )
 
+// Typed error taxonomy of the fault-hardening layer (PR 6). Callers
+// match with errors.Is; every error carries context via wrapping.
+var (
+	// ErrTornRecord: a log record failed validation mid-log (media
+	// damage — a genuinely torn append can only sit at the frontier),
+	// or persisted operations are stranded beyond the recoverable
+	// prefix, which crash-only executions cannot produce (Prop 5.10).
+	ErrTornRecord = errors.New("core: torn or media-damaged log record")
+	// ErrBadSlotHeader: a per-process log header failed to validate, so
+	// the whole log is unreadable.
+	ErrBadSlotHeader = errors.New("core: log header unreadable")
+	// ErrSnapshotCorrupt: a compaction snapshot that truncated records
+	// is itself missing or damaged — the operations it covered are not
+	// reconstructible.
+	ErrSnapshotCorrupt = errors.New("core: compaction snapshot missing or corrupt")
+	// ErrObjectQuarantined: salvage found evidence of data loss; the
+	// object refuses updates and typed reads until Recreate.
+	ErrObjectQuarantined = errors.New("core: object quarantined (salvage found evidence of loss)")
+	// ErrLogPressure: the persist stage could not place a record even
+	// after the full escalation ladder (compaction, view catch-up,
+	// ring growth).
+	ErrLogPressure = errors.New("core: log pressure not relieved by compaction or ring growth")
+)
+
 // MaxProcs bounds the number of simulated processes per instance
 // (MAX_PROCESSES in the paper). It matches sched.MaxPids so throughput
 // experiments can drive the full pid space; the root table reserves one
@@ -144,6 +168,18 @@ type Config struct {
 	// record and truncate its log every CompactEvery updates, and cut
 	// the trace behind the snapshot (Section 8 memory reclamation).
 	CompactEvery int
+	// Salvage selects salvaging recovery: instead of failing wholesale
+	// on the first corrupt structure, Recover keeps the longest valid
+	// prefix of every log, harvests checksummed records stranded beyond
+	// damage (helping often bridges the gap), and classifies the result
+	// into Healthy / Degraded / Quarantined (health.go). Strict mode
+	// (false, the default) preserves the original fail-closed behavior.
+	Salvage bool
+	// RootBase offsets this instance's root-table slots, letting
+	// several instances (independent objects) share one pool. Each
+	// instance owns slots [RootBase, RootBase+rootLogBase+NProcs).
+	// Callers must keep the ranges disjoint. Default 0.
+	RootBase int
 
 	// The Unsafe* options deliberately BREAK the construction for the
 	// ablation experiments (E13): they demonstrate that the design
@@ -175,6 +211,10 @@ func (c *Config) fill() error {
 	if c.AdoptPolicy.PublishLag < 0 {
 		return fmt.Errorf("core: AdoptPolicy.PublishLag %d negative", c.AdoptPolicy.PublishLag)
 	}
+	if c.RootBase < 0 || c.RootBase+rootLogBase+c.NProcs > pmem.RootSlots {
+		return fmt.Errorf("core: RootBase %d leaves no room for %d log roots (table has %d slots)",
+			c.RootBase, c.NProcs, pmem.RootSlots)
+	}
 	if c.LogCapacity == 0 {
 		c.LogCapacity = 1 << 12
 	}
@@ -202,6 +242,21 @@ type Instance struct {
 	// costs is the adaptive adoption cost model (nil when the fast
 	// path is off or AdoptPolicy pins a fixed threshold).
 	costs *adoptCosts
+
+	// health is the salvage-mode health state (health.go); nil means
+	// healthy (instances built by New, or strict recovery). One atomic
+	// load on the update path is the whole hot-path cost.
+	health atomic.Pointer[Health]
+	// salvBase caches the salvaged-prefix state for Recreate (set only
+	// when recovery quarantined the object).
+	salvBase *salvageBase
+
+	// Pressure and scrub counters (stats surface; see Pressure and
+	// ScrubTotals in health.go).
+	valveFires atomic.Uint64
+	ringGrows  atomic.Uint64
+	scrubRuns  atomic.Uint64
+	scrubBad   atomic.Uint64
 }
 
 // New builds a fresh instance of sp on pool. Setup durably writes the
@@ -224,10 +279,10 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 			return nil, fmt.Errorf("core: creating log for p%d: %w", pid, err)
 		}
 		in.logs = append(in.logs, l)
-		pool.SetRoot(rootLogBase+pid, uint64(l.Base()))
+		pool.SetRoot(cfg.RootBase+rootLogBase+pid, uint64(l.Base()))
 	}
-	pool.SetRoot(rootNProcsSlot, uint64(cfg.NProcs))
-	pool.SetRoot(rootMagicSlot, rootMagic)
+	pool.SetRoot(cfg.RootBase+rootNProcsSlot, uint64(cfg.NProcs))
+	pool.SetRoot(cfg.RootBase+rootMagicSlot, rootMagic)
 	in.makeHandles(nil)
 	return in, nil
 }
@@ -350,6 +405,10 @@ type Handle struct {
 	retired   []*trace.Node
 
 	sinceCompact int
+	// spillsAtGrow snapshots the log's spill counter at the last ring
+	// growth; the delta is the observed spill rate that lets the valve
+	// escalate straight to growth under sustained pressure (valve.go).
+	spillsAtGrow int
 	busy         atomic.Bool // guards against misuse (two ops at once)
 }
 
@@ -389,6 +448,9 @@ func (h *Handle) exit() {
 // persistent fence (plus, every CompactEvery updates, the compaction
 // snapshot's fence).
 func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error) {
+	if qerr := h.in.quarErr(); qerr != nil {
+		return 0, 0, qerr
+	}
 	h.enter()
 	defer h.exit()
 	h.seq++
@@ -423,19 +485,12 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 		in.tr.SetAvailable(h.pid, node)
 	}
 	if _, err = in.logs[h.pid].Append(fuzzy, node.Idx()); err != nil {
-		if errors.Is(err, plog.ErrOvfFull) {
-			// The overflow ring is sized at 1/8 of the worst case, so a
-			// burst of deep fuzzy windows can exhaust it long before the
-			// slot ring fills. Per the plog contract (truncate, then
-			// retry), free the chunks by compacting this log behind the
-			// local view and retry the append once.
-			if cerr := h.compactForSpace(); cerr == nil {
-				_, err = in.logs[h.pid].Append(fuzzy, node.Idx())
-			} else {
-				err = fmt.Errorf("%w (pressure valve failed: %v)", err, cerr)
-			}
-		}
-		if err != nil {
+		// The overflow ring is sized at a fraction of the worst case, so
+		// a burst of deep fuzzy windows can exhaust it long before the
+		// slot ring fills. persistWithValve escalates: compact behind
+		// the view, catch the view up and compact deeper, grow the ring
+		// — and only then fails with a typed ErrLogPressure (valve.go).
+		if err = h.persistWithValve(fuzzy, node, err); err != nil {
 			return 0, op.ID, fmt.Errorf("core: persist stage: %w", err)
 		}
 	}
@@ -487,6 +542,12 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 // the view read. The floor store is deferred to the slow path, which is
 // the only one that walks.
 func (h *Handle) Read(code uint64, args ...uint64) uint64 {
+	if qerr := h.in.quarErr(); qerr != nil {
+		// Read's signature predates quarantine and cannot return an
+		// error; callers that must survive a quarantined object use
+		// TryRead (health.go).
+		panic(qerr)
+	}
 	if !h.busy.CompareAndSwap(false, true) {
 		panic(errBusy)
 	}
@@ -897,6 +958,10 @@ type Report struct {
 	// PerProcessSeq records the highest per-process op sequence number
 	// seen, so replacement processes do not reuse ids.
 	PerProcessSeq map[int]uint64
+	// Salvage details what salvaging recovery found (nil in strict
+	// mode): per-process salvage counters, the health classification,
+	// and the full loss evidence (health.go).
+	Salvage *SalvageReport
 }
 
 // WasLinearized implements detectable execution: after recovery it
@@ -920,12 +985,25 @@ func (r *Report) WasLinearized(id uint64) (idx uint64, ok bool) {
 // logs, inserting each found operation into a fresh execution trace with
 // its available flag set. The returned instance is ready for new
 // operations; its processes are the crash survivors' replacements.
+//
+// With cfg.Salvage, structures that fail validation no longer abort
+// recovery: each log contributes its longest valid prefix plus any
+// checksummed records stranded beyond damage (orphans — helping usually
+// re-persisted the missing operations in another log, bridging the
+// gap), and the instance comes back Healthy, Degraded, or Quarantined
+// (health.go); Report.Salvage details what was found. Quarantined
+// instances still carry the best-effort prefix for inspection and
+// Recreate.
 func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, error) {
-	if pool.Root(rootMagicSlot) != rootMagic {
+	rb := cfg.RootBase
+	if rb < 0 || rb+rootLogBase >= pmem.RootSlots {
+		return nil, nil, fmt.Errorf("core: RootBase %d out of range", rb)
+	}
+	if pool.Root(rb+rootMagicSlot) != rootMagic {
 		return nil, nil, errors.New("core: pool has no ONLL root (not initialized?)")
 	}
-	nprocs := int(pool.Root(rootNProcsSlot))
-	if nprocs < 1 || nprocs > MaxProcs {
+	nprocs := int(pool.Root(rb + rootNProcsSlot))
+	if nprocs < 1 || nprocs > MaxProcs || rb+rootLogBase+nprocs > pmem.RootSlots {
 		return nil, nil, fmt.Errorf("core: implausible recovered NProcs %d", nprocs)
 	}
 	if cfg.NProcs == 0 {
@@ -940,20 +1018,59 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
 	in.initFastPath()
-	var records []plog.Record
+	var (
+		records  []plog.Record
+		salv     *SalvageReport
+		evidence []error // loss evidence: any entry quarantines
+		damaged  bool    // non-benign damage seen (degraded unless loss)
+	)
+	if cfg.Salvage {
+		salv = &SalvageReport{PerPid: make([]PidSalvage, nprocs)}
+	}
 	for pid := 0; pid < nprocs; pid++ {
-		base := pmem.Addr(pool.Root(rootLogBase + pid))
+		base := pmem.Addr(pool.Root(rb + rootLogBase + pid))
 		l, err := plog.Open(pool, pid, base)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: reopening log of p%d: %w", pid, err)
+			if !cfg.Salvage {
+				return nil, nil, fmt.Errorf("core: reopening log of p%d: %w", pid, err)
+			}
+			// The whole log is unreadable. Its process's un-helped
+			// operations are gone: loss evidence.
+			salv.PerPid[pid].OpenErr = err
+			evidence = append(evidence, fmt.Errorf("%w: log of p%d: %v", ErrBadSlotHeader, pid, err))
+			in.logs = append(in.logs, nil)
+			continue
 		}
 		in.logs = append(in.logs, l)
-		records = append(records, l.Records()...)
+		if !cfg.Salvage {
+			records = append(records, l.Records()...)
+			continue
+		}
+		s := l.SalvageScan()
+		ps := &salv.PerPid[pid]
+		ps.BadSlots, ps.Orphans, ps.TailTorn = len(s.BadSeqs), len(s.Orphans), s.TailTorn()
+		records = append(records, s.Live...)
+		records = append(records, s.Orphans...)
+		if s.Damaged() {
+			damaged = true
+		}
+		// Truncation-coverage invariant: headSeq > 0 means compaction
+		// truncated records, and compaction always leaves its covering
+		// snapshot as the oldest live record. A violated invariant means
+		// the snapshot — and everything it covered — is gone.
+		if l.HeadSeq() > 0 {
+			covered := len(s.Live) > 0 && s.Live[0].Kind == plog.KindSnapshot && s.Live[0].Seq == l.HeadSeq()+1
+			if !covered {
+				evidence = append(evidence, fmt.Errorf(
+					"%w: p%d truncated through seq %d but the covering snapshot is unreadable",
+					ErrSnapshotCorrupt, pid, l.HeadSeq()))
+			}
+		}
 	}
 
 	rep := &Report{
 		Linearized: map[uint64]uint64{}, PerProcessSeq: map[int]uint64{},
-		CoveredSeq: map[int]uint64{},
+		CoveredSeq: map[int]uint64{}, Salvage: salv,
 	}
 
 	// Newest valid snapshot wins.
@@ -971,7 +1088,15 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 		var err error
 		baseSeqs, rep.BaseState, err = snapDecode(basePayload)
 		if err != nil {
-			return nil, nil, err
+			if !cfg.Salvage {
+				return nil, nil, err
+			}
+			// The record's checksum verified but the payload does not
+			// decode — unreconstructible coverage: loss evidence. Fall
+			// back to recovering from index 0 with whatever survives.
+			evidence = append(evidence, fmt.Errorf("%w: undecodable snapshot at index %d: %v",
+				ErrSnapshotCorrupt, rep.BaseIdx, err))
+			rep.BaseIdx, basePayload, baseSeqs, rep.BaseState = 0, nil, nil, nil
 		}
 		for pid, seq := range baseSeqs {
 			if seq > 0 {
@@ -997,7 +1122,14 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 				continue
 			}
 			if prev, dup := byIdx[idx]; dup && prev != op {
-				return nil, nil, fmt.Errorf("core: logs disagree at index %d: %v vs %v", idx, prev, op)
+				if !cfg.Salvage {
+					return nil, nil, fmt.Errorf("core: logs disagree at index %d: %v vs %v", idx, prev, op)
+				}
+				// Two checksummed records disagree about an index:
+				// impossible in a crash-only execution, so one of them
+				// is silent media damage we cannot tell apart.
+				evidence = append(evidence, fmt.Errorf("%w: logs disagree at index %d", ErrTornRecord, idx))
+				continue
 			}
 			byIdx[idx] = op
 		}
@@ -1018,6 +1150,17 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 	}
 	rep.LastIdx = rep.BaseIdx + uint64(len(ordered))
 	rep.Ordered = ordered
+
+	if cfg.Salvage && len(byIdx) > len(ordered) {
+		// Persisted operations stranded beyond the first gap. Proposition
+		// 5.10 rules this out for crash-only executions (helping persists
+		// the whole fuzzy window below every operation), so the gap is a
+		// destroyed record, and the stranded operations were linearized
+		// but are unrecoverable in order: loss evidence.
+		evidence = append(evidence, fmt.Errorf(
+			"%w: %d persisted operations stranded beyond index %d",
+			ErrTornRecord, len(byIdx)-len(ordered), rep.LastIdx))
+	}
 
 	// Rebuild the trace: base (or INITIALIZE sentinel), then one
 	// available node per recovered operation.
@@ -1051,5 +1194,8 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 	}
 
 	in.makeHandles(rep.PerProcessSeq)
+	if cfg.Salvage {
+		in.classifySalvage(rep, evidence, damaged)
+	}
 	return in, rep, nil
 }

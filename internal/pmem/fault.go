@@ -1,0 +1,157 @@
+package pmem
+
+// Media-fault injection. Real NVM fails partially: a line loses a bit
+// (flip), a line is written torn by a power event the on-DIMM ECC did
+// not catch, or a worn-out line reads stuck-at-0/1. This file models
+// those failures as direct, deterministic corruption of the *durable*
+// image. Nothing on the hot path changes: a fault becomes visible only
+// when the damaged line is next read back from NVM — immediately for a
+// non-resident line, or after the next Crash for a line whose volatile
+// cache copy masks it (which is exactly how latent corruption behaves
+// on hardware: the cache serves reads until the dirty copy is lost).
+// A later Fence that re-persists the line overwrites the damage — a
+// fault injected under a still-running process may therefore be healed
+// before anything observes it; sweeps must accept that outcome.
+//
+// Injection composes with sched.Gate crash points: a harness crashes at
+// an arbitrary step (StepCounter), applies the crash oracle, and then
+// injects a seeded FaultPlan into the surviving image, so one sweep
+// explores crash-point x fault-plan combinations deterministically.
+
+// FaultClass selects a media-failure model.
+type FaultClass int
+
+const (
+	// FaultBitFlip flips one to three bits of one word of the line.
+	FaultBitFlip FaultClass = iota + 1
+	// FaultTornLine replaces a proper, non-empty subset of the line's
+	// words with garbage — the torn write the paper's checksummed
+	// records are designed to detect.
+	FaultTornLine
+	// FaultStuckLine makes the whole line read all-zeros or all-ones.
+	FaultStuckLine
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultBitFlip:
+		return "bitflip"
+	case FaultTornLine:
+		return "tornline"
+	case FaultStuckLine:
+		return "stuckline"
+	}
+	return "unknown"
+}
+
+// Fault is one media fault: a class, the damaged line, and a per-fault
+// seed deciding exactly which bits/words are hit.
+type Fault struct {
+	Class FaultClass
+	Line  uint64
+	Seed  uint64
+}
+
+// FaultPlan is a reproducible set of media faults. Plans are pure data:
+// the same plan injected into the same image always produces the same
+// corruption.
+type FaultPlan struct {
+	Seed   uint64
+	Faults []Fault
+}
+
+// faultMix is a splitmix64-style finalizer: the deterministic PRNG
+// behind plan drawing and fault payloads.
+func faultMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PlanFaults draws n faults deterministically from seed, with lines in
+// [minLine, maxLine). Classes are drawn uniformly. An empty range
+// yields an empty plan.
+func PlanFaults(seed uint64, n int, minLine, maxLine uint64) FaultPlan {
+	plan := FaultPlan{Seed: seed}
+	if maxLine <= minLine || n <= 0 {
+		return plan
+	}
+	span := maxLine - minLine
+	for i := 0; i < n; i++ {
+		base := faultMix(seed + uint64(i)*0x51_7c_c1_b7_27_22_0a_95)
+		plan.Faults = append(plan.Faults, Fault{
+			Class: FaultClass(1 + base%3),
+			Line:  minLine + faultMix(base)%span,
+			Seed:  faultMix(base ^ 0xdead_beef),
+		})
+	}
+	return plan
+}
+
+// AllocatedLines returns the number of cache lines below the bump-
+// allocation frontier — the span fault plans should target (lines above
+// it hold no structures and a fault there is invisible).
+func (p *Pool) AllocatedLines() uint64 {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	return (uint64(p.top) + LineSize - 1) / LineSize
+}
+
+// InjectFaults applies plan to the durable image and returns the number
+// of faults that landed (faults past the end of the pool are skipped).
+// Volatile cache copies are left untouched: a resident line keeps
+// masking the damage until the copy is dropped (Crash) — the latent-
+// fault model — while a non-resident line exposes it on the next load.
+func (p *Pool) InjectFaults(plan FaultPlan) int {
+	p.lockAll()
+	defer p.unlockAll()
+	n := 0
+	for _, f := range plan.Faults {
+		if f.Line >= uint64(len(p.cache)) {
+			continue
+		}
+		words := p.persistent[f.Line*LineWords : f.Line*LineWords+LineWords]
+		applyFault(words, f)
+		n++
+	}
+	return n
+}
+
+// applyFault corrupts one line's words in place, per the fault class.
+func applyFault(words []uint64, f Fault) {
+	switch f.Class {
+	case FaultBitFlip:
+		r := faultMix(f.Seed)
+		w := r % LineWords
+		nbits := 1 + (r>>8)%3
+		for b := uint64(0); b < nbits; b++ {
+			bit := faultMix(f.Seed+b) % 64
+			words[w] ^= 1 << bit
+		}
+	case FaultTornLine:
+		// Garble a non-empty proper subset of the words (always at
+		// least one changed, never the line wiped whole — that is
+		// FaultStuckLine's job).
+		mask := faultMix(f.Seed) % (1 << LineWords)
+		if mask == 0 || mask == (1<<LineWords)-1 {
+			mask = 1 << (faultMix(f.Seed+1) % LineWords)
+		}
+		for w := 0; w < LineWords; w++ {
+			if mask&(1<<w) != 0 {
+				words[w] = faultMix(f.Seed + 0x100 + uint64(w))
+			}
+		}
+	case FaultStuckLine:
+		v := uint64(0)
+		if faultMix(f.Seed)&1 == 1 {
+			v = ^uint64(0)
+		}
+		for w := range words {
+			words[w] = v
+		}
+	}
+}

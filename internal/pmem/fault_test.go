@@ -1,0 +1,117 @@
+package pmem
+
+import "testing"
+
+// TestFaultPlanDeterministic pins that the same seed yields the same
+// plan and the same corruption.
+func TestFaultPlanDeterministic(t *testing.T) {
+	a := PlanFaults(42, 8, 2, 100)
+	b := PlanFaults(42, 8, 2, 100)
+	if len(a.Faults) != 8 {
+		t.Fatalf("plan has %d faults, want 8", len(a.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+		if f := a.Faults[i]; f.Line < 2 || f.Line >= 100 {
+			t.Fatalf("fault %d line %d outside [2,100)", i, f.Line)
+		}
+		if c := a.Faults[i].Class; c < FaultBitFlip || c > FaultStuckLine {
+			t.Fatalf("fault %d class %v out of range", i, c)
+		}
+	}
+	if p := PlanFaults(1, 4, 10, 10); len(p.Faults) != 0 {
+		t.Fatalf("empty line range produced %d faults", len(p.Faults))
+	}
+}
+
+// TestFaultClassesCorrupt checks each class actually changes the
+// durable image in its characteristic way.
+func TestFaultClassesCorrupt(t *testing.T) {
+	const val = 0x0123456789abcdef
+	for _, class := range []FaultClass{FaultBitFlip, FaultTornLine, FaultStuckLine} {
+		p := New(1<<16, nil)
+		base := p.MustAlloc(LineSize)
+		for w := 0; w < LineWords; w++ {
+			p.Store(0, base+Addr(w*WordSize), val)
+		}
+		p.Persist(0, base, LineSize)
+		p.Crash(DropAll) // drop the cache so loads read NVM
+
+		n := p.InjectFaults(FaultPlan{Faults: []Fault{{Class: class, Line: base.Line(), Seed: 7}}})
+		if n != 1 {
+			t.Fatalf("%v: %d faults landed, want 1", class, n)
+		}
+		changed := 0
+		var words [LineWords]uint64
+		for w := 0; w < LineWords; w++ {
+			words[w] = p.Load(0, base+Addr(w*WordSize))
+			if words[w] != val {
+				changed++
+			}
+		}
+		switch class {
+		case FaultBitFlip:
+			if changed != 1 {
+				t.Fatalf("bitflip changed %d words, want 1", changed)
+			}
+		case FaultTornLine:
+			if changed == 0 || changed == LineWords {
+				t.Fatalf("tornline changed %d words, want a proper non-empty subset", changed)
+			}
+		case FaultStuckLine:
+			if changed == 0 {
+				t.Fatal("stuckline changed nothing")
+			}
+			for w := 1; w < LineWords; w++ {
+				if words[w] != words[0] {
+					t.Fatalf("stuckline left mixed words: %#x vs %#x", words[w], words[0])
+				}
+			}
+			if words[0] != 0 && words[0] != ^uint64(0) {
+				t.Fatalf("stuckline value %#x, want all-0 or all-1", words[0])
+			}
+		}
+	}
+}
+
+// TestFaultLatentUntilCacheDrop pins the latent-fault model: a fault on
+// a cache-resident line stays invisible to Load (the volatile copy
+// masks it) and surfaces only once the cache is dropped by a crash.
+// DurableWord — what the scrubber uses — sees it immediately.
+func TestFaultLatentUntilCacheDrop(t *testing.T) {
+	p := New(1<<16, nil)
+	base := p.MustAlloc(LineSize)
+	p.Store(0, base, 0x1111)
+	p.Persist(0, base, WordSize)
+	// The line is durable AND cache-resident. Stuck it at zero in NVM.
+	p.InjectFaults(FaultPlan{Faults: []Fault{{Class: FaultStuckLine, Line: base.Line(), Seed: 2}}})
+	if got := p.Load(0, base); got != 0x1111 {
+		t.Fatalf("cached load saw the fault early: %#x", got)
+	}
+	if got := p.DurableWord(base); got != 0 {
+		t.Fatalf("DurableWord missed the injected fault: %#x", got)
+	}
+	p.Crash(DropAll)
+	if got := p.Load(0, base); got != 0 {
+		t.Fatalf("fault did not surface after crash: %#x", got)
+	}
+}
+
+// TestFaultHealedByRePersist documents that a fence re-persisting the
+// damaged line overwrites the fault — the "healed before observed"
+// outcome sweeps must tolerate.
+func TestFaultHealedByRePersist(t *testing.T) {
+	p := New(1<<16, nil)
+	base := p.MustAlloc(LineSize)
+	p.Store(0, base, 0x2222)
+	p.Persist(0, base, WordSize)
+	p.InjectFaults(FaultPlan{Faults: []Fault{{Class: FaultTornLine, Line: base.Line(), Seed: 3}}})
+	p.Store(0, base, 0x3333) // cache still resident: full line content intact
+	p.Persist(0, base, WordSize)
+	p.Crash(DropAll)
+	if got := p.Load(0, base); got != 0x3333 {
+		t.Fatalf("re-persist did not heal the line: %#x", got)
+	}
+}

@@ -277,6 +277,10 @@ const (
 	minPoolLen = rootBytes
 )
 
+// RootSlots is the number of root-table slots. Constructions that
+// share one pool partition this space (core.Config.RootBase).
+const RootSlots = rootCount
+
 // RootSystemPID is the process id used for pool-management operations
 // (root updates during setup); its fence costs are excluded from
 // experiment tables by resetting stats after setup.

@@ -35,7 +35,77 @@ type (
 	State = spec.State
 	// Gate interposes deterministic scheduling (see internal/sched).
 	Gate = sched.Gate
+	// Health is an instance's health snapshot (Instance.Health): mode,
+	// quarantine reason, and aggregate salvage counters.
+	Health = core.Health
+	// HealthMode classifies a salvaged instance: healthy, degraded, or
+	// quarantined.
+	HealthMode = core.HealthMode
+	// SalvageReport details what salvaging recovery found (Report.Salvage,
+	// non-nil when Config.Salvage was set).
+	SalvageReport = core.SalvageReport
+	// PidSalvage is one process's salvage outcome.
+	PidSalvage = core.PidSalvage
+	// ScrubReport is one on-demand scrub pass over every log
+	// (Instance.Scrub) — the latent-corruption detector.
+	ScrubReport = core.ScrubReport
+	// ScrubTotals is the cumulative scrub counter snapshot.
+	ScrubTotals = core.ScrubTotals
+	// PressureStats counts log-pressure valve activity (Instance.Pressure).
+	PressureStats = core.PressureStats
+	// FaultPlan is a seeded deterministic media-fault plan
+	// (Pool.InjectFaults).
+	FaultPlan = pmem.FaultPlan
+	// Fault is a single media fault.
+	Fault = pmem.Fault
+	// FaultClass selects a fault's corruption pattern.
+	FaultClass = pmem.FaultClass
 )
+
+// Health modes (Instance.Health().Mode).
+const (
+	ModeHealthy     = core.ModeHealthy
+	ModeDegraded    = core.ModeDegraded
+	ModeQuarantined = core.ModeQuarantined
+)
+
+// Media-fault classes for PlanFaults.
+const (
+	FaultBitFlip   = pmem.FaultBitFlip
+	FaultTornLine  = pmem.FaultTornLine
+	FaultStuckLine = pmem.FaultStuckLine
+)
+
+// Typed failure taxonomy: salvaging recovery and degraded-mode
+// operations report loss through these (errors.Is-matchable).
+var (
+	// ErrTornRecord: a log record failed validation with operations
+	// stranded beyond it.
+	ErrTornRecord = core.ErrTornRecord
+	// ErrBadSlotHeader: a log's header region did not validate.
+	ErrBadSlotHeader = core.ErrBadSlotHeader
+	// ErrSnapshotCorrupt: a compaction snapshot did not decode.
+	ErrSnapshotCorrupt = core.ErrSnapshotCorrupt
+	// ErrObjectQuarantined: the object shows evidence of lost
+	// operations; Update/TryRead refuse until Instance.Recreate.
+	ErrObjectQuarantined = core.ErrObjectQuarantined
+	// ErrLogPressure: an append failed even after the full escalation
+	// ladder (compact, catch-up, ring growth).
+	ErrLogPressure = core.ErrLogPressure
+)
+
+// PlanFaults builds a seeded deterministic fault plan of n faults over
+// cache lines [minLine, maxLine) — combine with Pool.AllocatedLines and
+// Pool.InjectFaults to model media corruption between crash and
+// recovery.
+func PlanFaults(seed uint64, n int, minLine, maxLine uint64) FaultPlan {
+	return pmem.PlanFaults(seed, n, minLine, maxLine)
+}
+
+// RootTableLines is the number of leading cache lines holding the pool
+// root table; fault plans should start at or above it (the root table
+// is fixed-size redundant metadata, not checksummed log state).
+const RootTableLines = uint64(pmem.RootSlots * pmem.WordSize / pmem.LineSize)
 
 // Crash oracles re-exported for convenience.
 var (
