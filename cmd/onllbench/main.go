@@ -42,6 +42,7 @@ var (
 	seedFlag  = flag.Int64("seed", 1, "workload seed")
 	jsonFlag  = flag.Bool("json", false, "write the et throughput trajectory to "+jsonPath)
 	etOpsFlag = flag.Int("etops", 200_000, "total operations per et throughput point (smaller = faster smoke, e.g. the multi-core CI leg)")
+	deltaFlag = flag.Bool("deltasnap", false, "run e1 with base+delta-chain compaction cuts (core.Config.DeltaSnapshots) and pin pfences at 1/update + 2/cut, 0/read; et measures delta on AND off regardless")
 )
 
 // jsonPath is the trajectory artifact the -json mode maintains: the
@@ -166,7 +167,11 @@ func e1() error {
 		for _, nprocs := range []int{1, *procsFlag} {
 			for _, wf := range []bool{false, true} {
 				pool := pmem.New(poolFor(nprocs, *opsFlag*2+64), nil)
-				in, err := core.New(pool, sp, core.Config{NProcs: nprocs, WaitFree: wf, LogCapacity: *opsFlag*2 + 64})
+				cfg := core.Config{NProcs: nprocs, WaitFree: wf, LogCapacity: *opsFlag*2 + 64}
+				if *deltaFlag {
+					cfg.DeltaSnapshots, cfg.CompactEvery = true, 8
+				}
+				in, err := core.New(pool, sp, cfg)
 				if err != nil {
 					return err
 				}
@@ -182,14 +187,26 @@ func e1() error {
 				pfPerUpd := float64(tot.PersistentFences) / float64(updates)
 				row(label, updates, tot.PersistentFences, fmt.Sprintf("%.4f", pfPerUpd),
 					fmt.Sprintf("%.4f", 0.0))
-				if tot.PersistentFences != uint64(updates) {
-					return fmt.Errorf("e1: %s: %d pfences for %d updates", label, tot.PersistentFences, updates)
+				// The pin: one fence per update, zero per read — plus,
+				// with -deltasnap, exactly two per compaction cut (chain
+				// append + truncate), never a fence on the read side.
+				want := uint64(updates)
+				if *deltaFlag {
+					st := in.CompactionStats()
+					want += 2 * (st.Bases + st.Deltas)
+				}
+				if tot.PersistentFences != want {
+					return fmt.Errorf("e1: %s: %d pfences for %d updates (want %d)", label, tot.PersistentFences, updates, want)
 				}
 				_ = reads
 			}
 		}
 	}
-	fmt.Println("PASS: exactly one persistent fence per update, zero per read, all objects")
+	if *deltaFlag {
+		fmt.Println("PASS: one pfence per update + two per delta-chain cut, zero per read, all objects")
+	} else {
+		fmt.Println("PASS: exactly one persistent fence per update, zero per read, all objects")
+	}
 	return nil
 }
 
@@ -641,11 +658,15 @@ func e12() error {
 
 // throughputPoint is one measurement of the suite.
 type throughputPoint struct {
-	Workload      string  `json:"workload"` // "updates", "mixed50" or "ycsb-{a,b,c,e}"
+	Workload      string  `json:"workload"` // "updates", "mixed50" or "ycsb-{a,b,c,d,e}"
 	Procs         int     `json:"procs"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	PFencesPerUpd float64 `json:"pfences_per_update"`
+	// FastPath tags the delta-compaction pairs ("on"/"off": the
+	// read-fast-path leg the pair ran under); empty in the main sweep,
+	// whose legs are the off/on dimension itself.
+	FastPath string `json:"fastpath,omitempty"`
 }
 
 // footprintPoint records the per-process log footprint of the two-tier
@@ -796,26 +817,27 @@ func measureThroughput(nprocs, updatePct, totalOps int, fast bool) (throughputPo
 }
 
 // measureYCSB drives one of the YCSB keyed mixes (zipfian keys over the
-// ordered map) with nprocs handles and returns the measured point. The
+// ordered map) with nprocs handles and returns the measured point plus
+// the instance (for compaction counters and state-size probes). The
 // map is preloaded with the whole key space, as YCSB loads its dataset,
 // so read-heavy mixes measure lookups against a populated index rather
 // than misses on an empty one.
-func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int, fast bool) (throughputPoint, error) {
+func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int, cfg core.Config) (throughputPoint, *core.Instance, error) {
 	pool := pmem.New(etPoolSize(nprocs), nil)
-	in, err := core.New(pool, objects.OrderedMapSpec{}, etConfig(nprocs, fast))
+	in, err := core.New(pool, objects.OrderedMapSpec{}, cfg)
 	if err != nil {
-		return throughputPoint{}, err
+		return throughputPoint{}, nil, err
 	}
 	y := workload.NewYCSB(mix)
 	if err := y.Preload(in.Handle(0)); err != nil {
-		return throughputPoint{}, err
+		return throughputPoint{}, nil, err
 	}
 	per := totalOps / nprocs
 	streams, updates := y.Streams(nprocs, per)
 	// Warm-up pass so the measured pass is steady state.
 	for pid := 0; pid < nprocs; pid++ {
 		if err := workload.RunSteps(in.Handle(pid), streams[pid][:min(200, len(streams[pid]))]); err != nil {
-			return throughputPoint{}, err
+			return throughputPoint{}, nil, err
 		}
 	}
 	pool.ResetStats()
@@ -844,9 +866,9 @@ func measureYCSB(mix workload.YCSBWorkload, nprocs, totalOps int, fast bool) (th
 	} else if pf := pool.TotalStats().PersistentFences; pf > 0 {
 		// Read-only mix (YCSB-C): any persistent fence is a bug in the
 		// fence-free read path.
-		return pt, fmt.Errorf("%s: %d persistent fences on a read-only mix", mix, pf)
+		return pt, in, fmt.Errorf("%s: %d persistent fences on a read-only mix", mix, pf)
 	}
-	return pt, nil
+	return pt, in, nil
 }
 
 // etProcs is the process sweep: up to the full pid space (MaxPids = 64).
@@ -862,8 +884,9 @@ var etProcs = []int{1, 2, 4, 8, 16, 32, 64}
 const etRepeats = 3
 
 // etPair returns the best-of-etRepeats measurement of one point for
-// both fast-path legs, interleaved off/on within every repetition.
-func etPair(measure func(fast bool) (throughputPoint, error)) (off, on throughputPoint, err error) {
+// both legs of an on/off dimension (read fast path, delta compaction),
+// interleaved off/on within every repetition.
+func etPair(measure func(on bool) (throughputPoint, error)) (off, on throughputPoint, err error) {
 	for r := 0; r < etRepeats; r++ {
 		o, err := measure(false)
 		if err != nil {
@@ -909,7 +932,8 @@ func etMeasureAll(totalOps int) (offs, ons []throughputPoint, err error) {
 		for _, nprocs := range etProcs {
 			mix, nprocs := mix, nprocs
 			if err := add(func(fast bool) (throughputPoint, error) {
-				return measureYCSB(mix, nprocs, totalOps, fast)
+				pt, _, err := measureYCSB(mix, nprocs, totalOps, etConfig(nprocs, fast))
+				return pt, err
 			}); err != nil {
 				return nil, nil, err
 			}
@@ -918,17 +942,134 @@ func etMeasureAll(totalOps int) (offs, ons []throughputPoint, err error) {
 	return offs, ons, nil
 }
 
+// etDeltaConfig is etConfig with the compaction cut content switched
+// between full snapshots (delta=false) and base+delta chains
+// (delta=true). The cadence is identical in both legs — only what each
+// cut writes (and the flush pressure that write volume causes) differs.
+func etDeltaConfig(nprocs int, fast, delta bool) core.Config {
+	cfg := etConfig(nprocs, fast)
+	cfg.DeltaSnapshots = delta
+	return cfg
+}
+
+// deltaProcs is the delta-compaction sweep: a spread of the main sweep
+// rather than all of it (each point is still 2 legs x best-of-3).
+var deltaProcs = []int{1, 4, 16, 64}
+
+// snapfootPoint records the write volume of one delta-chain YCSB-D run:
+// words actually appended per compaction cut against the full-snapshot
+// equivalent for the same cuts, with the final key count as the state
+// size. Sweeping totalOps grows the state (YCSB-D mints fresh keys), so
+// the series shows words/cut staying near-flat while the full-snapshot
+// equivalent tracks the state — the sub-linearity the chains buy.
+type snapfootPoint struct {
+	Workload        string  `json:"workload"`
+	Procs           int     `json:"procs"`
+	TotalOps        int     `json:"total_ops"`
+	FinalKeys       uint64  `json:"final_keys"`
+	Bases           uint64  `json:"bases"`
+	Deltas          uint64  `json:"deltas"`
+	Collapses       uint64  `json:"collapses"`
+	WordsPerCut     float64 `json:"snapshot_words_per_cut"`
+	FullWordsPerCut float64 `json:"full_equiv_words_per_cut"`
+	Ratio           float64 `json:"delta_over_full"`
+}
+
+// snapFootprint runs YCSB-D once with delta chains on (no timing, so no
+// repeats needed) and reports the per-cut write volume. The cadence is
+// tightened relative to the throughput-tuned suite config so dozens of
+// cuts land per run and words/cut averages over real chains instead of
+// one or two samples.
+func snapFootprint(nprocs, totalOps int) (snapfootPoint, error) {
+	cfg := etDeltaConfig(nprocs, true, true)
+	cfg.CompactEvery = 256
+	_, in, err := measureYCSB(workload.YCSBD, nprocs, totalOps, cfg)
+	if err != nil {
+		return snapfootPoint{}, err
+	}
+	st := in.CompactionStats()
+	fp := snapfootPoint{
+		Workload: string(workload.YCSBD), Procs: nprocs, TotalOps: totalOps,
+		FinalKeys: in.Handle(0).Read(objects.OMapLen),
+		Bases:     st.Bases, Deltas: st.Deltas, Collapses: st.Collapses,
+	}
+	if cuts := st.Bases + st.Deltas; cuts > 0 {
+		fp.WordsPerCut = float64(st.SnapshotWords) / float64(cuts)
+		fp.FullWordsPerCut = float64(st.FullEquivWords) / float64(cuts)
+	}
+	if fp.FullWordsPerCut > 0 {
+		fp.Ratio = fp.WordsPerCut / fp.FullWordsPerCut
+	}
+	return fp, nil
+}
+
+// etDeltaMeasureAll measures the compaction dimension: YCSB-D (the
+// churn mix whose cuts delta chains target) under BOTH read-fast-path
+// legs, and YCSB-A under the shipped (fast-on) configuration, each with
+// full snapshots and with base+delta chains in the same session, plus
+// the snapshot-footprint series over a growing state. FastPath tags the
+// points so the pairs stay distinguishable in the artifact.
+func etDeltaMeasureAll(totalOps int) (offs, ons []throughputPoint, foot []snapfootPoint, err error) {
+	legs := []struct {
+		mix  workload.YCSBWorkload
+		fast bool
+	}{
+		{workload.YCSBD, true},
+		{workload.YCSBD, false},
+		{workload.YCSBA, true},
+	}
+	for _, leg := range legs {
+		for _, nprocs := range deltaProcs {
+			leg, nprocs := leg, nprocs
+			off, on, err := etPair(func(delta bool) (throughputPoint, error) {
+				pt, _, err := measureYCSB(leg.mix, nprocs, totalOps, etDeltaConfig(nprocs, leg.fast, delta))
+				if leg.fast {
+					pt.FastPath = "on"
+				} else {
+					pt.FastPath = "off"
+				}
+				return pt, err
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			offs, ons = append(offs, off), append(ons, on)
+		}
+	}
+	// Single-process footprint runs: one handle takes every insert, so
+	// its cut cadence fires throughout the run and the per-cut averages
+	// cover chains cut against a small, a medium and a large state.
+	for _, ops := range []int{totalOps / 4, totalOps / 2, totalOps} {
+		if ops < 8 {
+			continue
+		}
+		fp, err := snapFootprint(1, ops)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		foot = append(foot, fp)
+	}
+	return offs, ons, foot, nil
+}
+
 // et: simulator-substrate throughput scaling over 1..64 processes.
 // Every point is measured twice in the same session — read fast path
 // off (the PR 3 configuration) and on — so the speedup column compares
-// like with like on the same host, immune to box-to-box noise.
+// like with like on the same host, immune to box-to-box noise. A second
+// same-session pair does the same for the compaction scheme (full
+// snapshots vs base+delta chains) on YCSB-D/A, with a footprint series
+// showing per-cut write volume staying sub-linear in state size.
 func et() error {
-	header("ET: parallel throughput suite (read fast path on vs off, YCSB-A/B/C/D/E)")
+	header("ET: parallel throughput suite (read fast path on/off, delta compaction on/off, YCSB-A/B/C/D/E)")
 	totalOps := *etOpsFlag
 	if max := etProcs[len(etProcs)-1]; totalOps < max {
 		return fmt.Errorf("et: -etops %d below the widest sweep point (%d processes need at least one op each)", totalOps, max)
 	}
 	pr3, current, err := etMeasureAll(totalOps)
+	if err != nil {
+		return err
+	}
+	deltaOff, deltaOn, snapFoot, err := etDeltaMeasureAll(totalOps)
 	if err != nil {
 		return err
 	}
@@ -951,6 +1092,23 @@ func et() error {
 			fmt.Sprintf("%.0f", pt.NsPerOp),
 			fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
 	}
+	fmt.Println()
+	row("delta compaction", "full ops/sec", "delta ops/sec", "speedup", "pf/update (delta)")
+	for i, on := range deltaOn {
+		off := deltaOff[i]
+		row(fmt.Sprintf("%s/%d/fast-%s", on.Workload, on.Procs, on.FastPath),
+			fmt.Sprintf("%.0f", off.OpsPerSec),
+			fmt.Sprintf("%.0f", on.OpsPerSec),
+			fmt.Sprintf("%.2fx", on.OpsPerSec/off.OpsPerSec),
+			fmt.Sprintf("%.3f", on.PFencesPerUpd))
+	}
+	fmt.Println()
+	row("snapshot bytes/cut (keys)", "cuts b+d", "delta w/cut", "full w/cut", "ratio")
+	for _, fp := range snapFoot {
+		row(fmt.Sprint(fp.FinalKeys), fmt.Sprintf("%d+%d", fp.Bases, fp.Deltas),
+			fmt.Sprintf("%.0f", fp.WordsPerCut), fmt.Sprintf("%.0f", fp.FullWordsPerCut),
+			fmt.Sprintf("%.3f", fp.Ratio))
+	}
 	footprint := footprintTable()
 	fmt.Println()
 	row("log footprint (procs)", "capacity", "two-tier B", "single-tier B", "ratio")
@@ -968,14 +1126,18 @@ func et() error {
 			PR1Note       string            `json:"pr1_note"`
 			PR3Note       string            `json:"pr3_note"`
 			PR5Note       string            `json:"pr5_note"`
+			DeltaNote     string            `json:"delta_note"`
 			FootprintNote string            `json:"footprint_note"`
 			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
 			PR1           []throughputPoint `json:"pr1_sharded_pool"`
 			PR3           []throughputPoint `json:"pr3_read_fastpath_off"`
 			Current       []throughputPoint `json:"current_read_fastpath"`
+			DeltaOff      []throughputPoint `json:"delta_snapshots_off"`
+			DeltaOn       []throughputPoint `json:"delta_snapshots_on"`
+			SnapFootprint []snapfootPoint   `json:"snapshot_footprint"`
 			Footprint     []footprintPoint  `json:"log_footprint"`
 		}{
-			Schema:        "bench_throughput/v5",
+			Schema:        "bench_throughput/v6",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			TotalOps:      totalOps,
@@ -1004,14 +1166,33 @@ func et() error {
 				"baseline and pr1 series are fixed historical recordings from " +
 				"1-CPU 200k-op sessions and are not comparable to a multi-core " +
 				"or resized regeneration",
+			DeltaNote: "v6 (delta-chain compaction): delta_snapshots_off and _on are " +
+				"same-session pairs differing only in what a compaction cut writes " +
+				"— a full state snapshot vs a chain base plus per-cut delta " +
+				"records; cadence identical, pfences/op unchanged (1 per update + " +
+				"2 per cut, 0 per read). ycsb-d (fresh-key churn: the state grows " +
+				"all run, so full cuts get steadily more expensive) is the headline " +
+				"mix and runs with the read fast path both on and off (the " +
+				"fastpath field tags the leg); ycsb-a is the contrast where the " +
+				"preloaded key space bounds the state, so chains collapse every " +
+				"few cuts and the win only appears once cut cost is contended. " +
+				"At the highest proc count the small per-proc log keeps the " +
+				"pressure valve hot in both legs and the pair is noise-dominated. " +
+				"snapshot_footprint sweeps total_ops with delta on and reports " +
+				"appended words per cut vs the full-snapshot equivalent for the " +
+				"same cuts: near-flat vs state-tracking, i.e. sub-linear in state " +
+				"size",
 			FootprintNote: "plog.RegionBytes of the two-tier slot layout (inline budget " +
 				"4 ops + shared overflow ring at 1/8 of worst case) vs the retired " +
 				"single-tier layout, at the suite's log geometry; pfences/op unchanged",
-			Baseline:  throughputBaseline,
-			PR1:       throughputPR1,
-			PR3:       pr3,
-			Current:   current,
-			Footprint: footprint,
+			Baseline:      throughputBaseline,
+			PR1:           throughputPR1,
+			PR3:           pr3,
+			Current:       current,
+			DeltaOff:      deltaOff,
+			DeltaOn:       deltaOn,
+			SnapFootprint: snapFoot,
+			Footprint:     footprint,
 		}
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {

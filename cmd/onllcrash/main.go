@@ -33,6 +33,7 @@ var (
 	seedFlag   = flag.Int64("seed", 1, "workload seed")
 	faultsFlag = flag.Int("faults", 0, "media faults to inject before recovery (salvage mode)")
 	fseedFlag  = flag.Uint64("faultseed", 42, "fault plan seed")
+	deltaFlag  = flag.Bool("deltasnap", false, "compact with base+delta-chain cuts (both phases must agree so recovery refolds the chains it finds)")
 )
 
 func main() {
@@ -62,11 +63,16 @@ func runPhase() error {
 	pool := pmem.New(1<<26, nil)
 	in, err := core.New(pool, objects.MapSpec{}, core.Config{
 		NProcs: *procsFlag, LogCapacity: *opsFlag*2 + 64,
+		DeltaSnapshots: *deltaFlag,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("phase run: %d processes x %d puts into a durable map\n", *procsFlag, *opsFlag)
+	mode := ""
+	if *deltaFlag {
+		mode = " (delta-chain compaction)"
+	}
+	fmt.Printf("phase run: %d processes x %d puts into a durable map%s\n", *procsFlag, *opsFlag, mode)
 	var wg sync.WaitGroup
 	for pid := 0; pid < *procsFlag; pid++ {
 		wg.Add(1)
@@ -83,6 +89,11 @@ func runPhase() error {
 		}(pid)
 	}
 	wg.Wait()
+	if *deltaFlag {
+		st := in.CompactionStats()
+		fmt.Printf("compaction: %d base(s), %d delta(s) (%d via pressure valve), %d collapse(s); wrote %d words vs %d full-snapshot-equivalent\n",
+			st.Bases, st.Deltas, st.ValveDeltas, st.Collapses, st.SnapshotWords, st.FullEquivWords)
+	}
 	// Power failure: volatile caches vanish; only fenced data survives.
 	pool.Crash(pmem.DropAll)
 	if err := pool.SaveFile(*fileFlag); err != nil {
@@ -97,7 +108,7 @@ func recoverPhase() error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{}
+	cfg := core.Config{DeltaSnapshots: *deltaFlag}
 	if *faultsFlag > 0 {
 		// Media corruption between the crash and the reboot: a seeded
 		// plan of torn lines, bit flips and stuck-at lines over the

@@ -1,8 +1,9 @@
 // Command onllview inspects a saved pool image (produced by
 // Pool.SaveFile / cmd/onllcrash): it dumps the root table, walks every
-// per-process persistent log, decodes its records — operation batches
-// and compaction snapshots — and previews what recovery would
-// reconstruct, without modifying anything.
+// per-process persistent log, decodes its records — operation batches,
+// compaction snapshots and delta-chain records (resolving each chain
+// back to its base) — and previews what recovery would reconstruct,
+// without modifying anything.
 //
 // Usage:
 //
@@ -55,6 +56,10 @@ func run() error {
 	}
 	fmt.Printf("\nONLL instance: %d processes\n", nprocs)
 
+	// Image-derived compaction counters, in core.CompactionStats shape:
+	// the live instance's counters are volatile (they die with the
+	// crash), but the surviving chain records say what compaction wrote.
+	var cstats core.CompactionStats
 	totalOps, totalSnaps := 0, 0
 	for pid := 0; pid < nprocs; pid++ {
 		base := pmem.Addr(pool.Root(8 + pid))
@@ -65,10 +70,21 @@ func run() error {
 		recs := l.Records()
 		fmt.Printf("\nlog p%-2d @ %#x: capacity=%d slots, maxOps=%d, headSeq=%d, nextSeq=%d, live=%d\n",
 			pid, uint64(base), l.Capacity(), l.MaxOps(), l.HeadSeq(), l.NextSeq(), len(recs))
+		if n := l.ChainLen(); n > 0 {
+			fmt.Printf("  delta chain: %d record(s), covers execIdx=%d, delta words=%d\n",
+				n, l.ChainHead(), l.ChainDeltaWords())
+		}
 		for _, rec := range recs {
-			if rec.Kind == plog.KindOps {
+			switch {
+			case rec.Kind == plog.KindOps:
 				totalOps += len(rec.Ops)
-			} else {
+			case rec.Kind == plog.KindDelta && rec.ChainBase():
+				cstats.Bases++
+				cstats.SnapshotWords += uint64(len(rec.DeltaPayload()))
+			case rec.Kind == plog.KindDelta:
+				cstats.Deltas++
+				cstats.SnapshotWords += uint64(len(rec.DeltaPayload()))
+			default:
 				totalSnaps++
 			}
 		}
@@ -93,11 +109,29 @@ func run() error {
 			case plog.KindSnapshot:
 				fmt.Printf("  seq=%-5d snapshot execIdx=%-6d %d state word(s)\n",
 					rec.Seq, rec.ExecIdx, len(rec.State))
+			case plog.KindDelta:
+				role := "delta"
+				if rec.ChainBase() {
+					role = "chain-base"
+				}
+				status := "resolves"
+				if elems, err := l.ResolveChain(rec); err != nil {
+					status = fmt.Sprintf("UNRESOLVABLE: %v", err)
+				} else {
+					status = fmt.Sprintf("resolves: %d element(s) to base", len(elems))
+				}
+				fmt.Printf("  seq=%-5d %-10s execIdx=%-6d %d payload word(s)  %s\n",
+					rec.Seq, role, rec.ExecIdx, len(rec.DeltaPayload()), status)
 			}
 		}
 	}
 
 	fmt.Printf("\ntotals: %d logged op entries (helping included), %d snapshots\n", totalOps, totalSnaps)
+	if cstats.Bases+cstats.Deltas > 0 {
+		fmt.Printf("compaction (from surviving chain records): %d base(s), %d delta(s), %d payload word(s) — %.1f words/cut\n",
+			cstats.Bases, cstats.Deltas, cstats.SnapshotWords,
+			float64(cstats.SnapshotWords)/float64(cstats.Bases+cstats.Deltas))
+	}
 	fmt.Println("\nrecovery preview (indices recovery would reconstruct):")
 	preview(pool, nprocs)
 	return nil
@@ -121,6 +155,13 @@ func preview(pool *pmem.Pool, nprocs int) {
 			switch rec.Kind {
 			case plog.KindSnapshot:
 				if rec.ExecIdx > baseIdx {
+					baseIdx = rec.ExecIdx
+				}
+			case plog.KindDelta:
+				// A chain head covers up to its execIdx — but only if
+				// the whole chain resolves back to its base; recovery
+				// would refuse (or salvage past) a broken one.
+				if _, err := l.ResolveChain(rec); err == nil && rec.ExecIdx > baseIdx {
 					baseIdx = rec.ExecIdx
 				}
 			case plog.KindOps:

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -262,5 +263,185 @@ func TestRecoveryUncorruptedBaseline(t *testing.T) {
 	h := in.Handle(0)
 	if got := h.Read(objects.MapGet, 1); got != 3 {
 		t.Fatalf("recovered map[1] = %d, want 3", got)
+	}
+}
+
+// buildCrashedChainImage runs a single-process delta-compacting
+// instance over distinct keys until a live chain (base + deltas)
+// exists, then crashes keeping every in-flight line. It returns the
+// pool and the newest delta record (the chain head) for fault
+// targeting.
+func buildCrashedChainImage(t *testing.T) (*pmem.Pool, plog.Record) {
+	t.Helper()
+	pool := pmem.New(1<<22, nil)
+	in, err := core.New(pool, objects.MapSpec{}, core.Config{
+		NProcs: 1, LogCapacity: 128, DeltaSnapshots: true, CompactEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := in.Handle(0)
+	for i := 0; i < 32; i++ {
+		if _, _, err := h.Update(objects.MapPut, uint64(i+1), uint64(3*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl := in.Log(0).ChainLen(); cl < 2 {
+		t.Fatalf("setup: chain has %d links, want base + deltas", cl)
+	}
+	var head plog.Record
+	found := false
+	for _, r := range in.Log(0).Records() {
+		if r.Kind == plog.KindDelta {
+			head, found = r, true
+		}
+	}
+	if !found {
+		t.Fatal("setup: no live delta record")
+	}
+	pool.Crash(pmem.KeepAll)
+	return pool, head
+}
+
+// TestRecoveryTornChainPredecessorBody corrupts a payload word inside
+// the chain head's PREDECESSOR body — damage the head record's own
+// checksum cannot see, only the back-reference checksum carried in the
+// head body can. Strict whole-image recovery must refuse with
+// snapshot-corruption evidence (the chain no longer folds, so the
+// truncated prefix is unreconstructible); salvaging recovery must
+// quarantine with the same taxonomy and return to service via
+// Recreate. Never a panic, never a silently wrong state.
+func TestRecoveryTornChainPredecessorBody(t *testing.T) {
+	pool, head := buildCrashedChainImage(t)
+	// Body[2] is the back-reference address of the predecessor body
+	// (validated at resolve time); smash a word inside that region,
+	// past its 5-word frame header.
+	durablyCorrupt(pool, pmem.Addr(head.Body[2])+pmem.Addr(5*pmem.WordSize), ^uint64(0))
+	if _, _, err := core.Recover(pool, objects.MapSpec{}, core.Config{}); !errors.Is(err, core.ErrSnapshotCorrupt) {
+		t.Fatalf("strict recovery over a torn chain predecessor: err=%v, want ErrSnapshotCorrupt", err)
+	}
+
+	pool2, head2 := buildCrashedChainImage(t)
+	durablyCorrupt(pool2, pmem.Addr(head2.Body[2])+pmem.Addr(5*pmem.WordSize), ^uint64(0))
+	in, _, err := core.Recover(pool2, objects.MapSpec{}, core.Config{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvaging recovery must absorb chain damage, got: %v", err)
+	}
+	if m := in.Health().Mode; m != core.ModeQuarantined {
+		t.Fatalf("health after unfoldable chain = %v, want quarantined", m)
+	}
+	if reason := in.Health().Reason; !errors.Is(reason, core.ErrSnapshotCorrupt) {
+		t.Fatalf("quarantine reason %v lacks snapshot-corruption evidence", reason)
+	}
+	if err := in.Recreate(); err != nil {
+		t.Fatalf("Recreate after chain quarantine: %v", err)
+	}
+	if _, _, err := in.Handle(0).Update(objects.MapPut, 1000, 1); err != nil {
+		t.Fatalf("update after Recreate: %v", err)
+	}
+}
+
+// TestRecoveryFlippedChainBackRef flips one bit of the back-reference
+// word INSIDE the chain head's checksummed body on media. The body
+// checksum fails, so the head record reads as never appended — the
+// forged pointer is never followed — and with it the truncated log
+// loses its only coverage. Strict recovery must report exactly that
+// (truncation without a readable covering record) instead of silently
+// recovering nothing; salvage must quarantine on the same evidence.
+func TestRecoveryFlippedChainBackRef(t *testing.T) {
+	pool, head := buildCrashedChainImage(t)
+	addr, _, ok := head.ChainBody()
+	if !ok {
+		t.Fatal("chain head without a body region")
+	}
+	cur := pool.DurableWord(addr + pmem.Addr(2*pmem.WordSize))
+	durablyCorrupt(pool, addr+pmem.Addr(2*pmem.WordSize), cur^(1<<17))
+	if _, _, err := core.Recover(pool, objects.MapSpec{}, core.Config{}); !errors.Is(err, core.ErrSnapshotCorrupt) {
+		t.Fatalf("strict recovery over a flipped back-reference: err=%v, want ErrSnapshotCorrupt", err)
+	}
+
+	pool2, head2 := buildCrashedChainImage(t)
+	addr2, _, _ := head2.ChainBody()
+	cur2 := pool2.DurableWord(addr2 + pmem.Addr(2*pmem.WordSize))
+	durablyCorrupt(pool2, addr2+pmem.Addr(2*pmem.WordSize), cur2^(1<<17))
+	in, _, err := core.Recover(pool2, objects.MapSpec{}, core.Config{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvaging recovery must absorb a broken chain head, got: %v", err)
+	}
+	if m := in.Health().Mode; m != core.ModeQuarantined {
+		t.Fatalf("health after lost chain coverage = %v, want quarantined", m)
+	}
+}
+
+// TestRecoveryChainBaseBeforeFirstDelta crashes in the window between
+// a chain-base cut and the first delta: the live chain is exactly one
+// base link. Recovery must restore the full state from the base alone,
+// with every update detectable — the base is self-contained coverage,
+// not an incomplete chain.
+func TestRecoveryChainBaseBeforeFirstDelta(t *testing.T) {
+	pool := pmem.New(1<<22, nil)
+	in, err := core.New(pool, objects.MapSpec{}, core.Config{
+		NProcs: 1, LogCapacity: 128, DeltaSnapshots: true, CompactEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := in.Handle(0)
+	// Exactly one cadence: the 8th update triggers the first cut, a
+	// fresh base; the crash lands before any delta is appended.
+	for i := 0; i < 8; i++ {
+		if _, _, err := h.Update(objects.MapPut, uint64(i+1), uint64(3*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl := in.Log(0).ChainLen(); cl != 1 {
+		t.Fatalf("setup: chain has %d links, want the lone base", cl)
+	}
+	pool.Crash(pmem.KeepAll)
+	in2, rep, err := core.Recover(pool, objects.MapSpec{}, core.Config{DeltaSnapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseIdx != 8 {
+		t.Fatalf("recovered BaseIdx %d, want 8 (the base cut)", rep.BaseIdx)
+	}
+	h2 := in2.Handle(0)
+	for i := 1; i <= 8; i++ {
+		if got := h2.Read(objects.MapGet, uint64(i)); got != uint64(3*i) {
+			t.Fatalf("recovered map[%d] = %d, want %d", i, got, 3*i)
+		}
+	}
+	for seq := uint64(1); seq <= 8; seq++ {
+		if _, ok := rep.WasLinearized(spec.MakeID(0, seq)); !ok {
+			t.Fatalf("op %d vanished across the base-only chain", seq)
+		}
+	}
+}
+
+// TestRecoveryFuzzRandomCorruptionDeltaChains is the delta-chain leg
+// of the random-corruption fuzz: sprayed durable word corruption over
+// an image whose logs hold live chains (record slots, chain bodies and
+// back-references alike) must leave recovery erroring or returning a
+// consistent, servable instance — never panicking, never chasing a
+// forged chain pointer out of bounds.
+func TestRecoveryFuzzRandomCorruptionDeltaChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		pool, _ := buildCrashedChainImage(t)
+		for n := 1 + rng.Intn(5); n > 0; n-- {
+			w := rng.Intn(pool.Size() / (8 * pmem.WordSize))
+			addr := pmem.Addr(w * pmem.WordSize)
+			var val uint64
+			switch rng.Intn(3) {
+			case 0:
+				val = rng.Uint64()
+			case 1:
+				val = pool.DurableWord(addr) ^ (1 << uint(rng.Intn(64)))
+			default:
+				val = ^uint64(0)
+			}
+			durablyCorrupt(pool, addr, val)
+		}
+		recoverGuarded(t, pool, objects.MapSpec{}, "delta-chain corruption")
 	}
 }

@@ -85,6 +85,11 @@ func runFaultIteration(t *testing.T, sp spec.Spec, nprocs, it int, rng *rand.Ran
 	if it%3 == 0 {
 		base.WaitFree = true
 	}
+	// Alternate compaction schemes across the compacting legs (the CI
+	// matrix can force either), so faults land on chain bodies and
+	// back-references too and salvage composes with unresolvable
+	// chains, not just broken snapshots.
+	base.DeltaSnapshots = workload.DeltaSnapshotLeg(it%4 == 0)
 	probe, err := RunLive(base)
 	if err != nil {
 		t.Fatalf("p%d i%d: live probe: %v", nprocs, it, err)
@@ -227,10 +232,10 @@ func TestPruneLostTail(t *testing.T) {
 	hist := []OpRecord{
 		mk(0, 1, 1, 2),
 		mk(0, 2, 3, 4),
-		mk(0, 3, 7, 9),  // completed, unrecovered, at the tail: prunable
-		read(1, 1, 5),   // responded before the lost op's invocation: kept
-		read(1, 8, 10),  // responded after: censored
-		read(1, 11, 0),  // pending: kept
+		mk(0, 3, 7, 9), // completed, unrecovered, at the tail: prunable
+		read(1, 1, 5),  // responded before the lost op's invocation: kept
+		read(1, 8, 10), // responded after: censored
+		read(1, 11, 0), // pending: kept
 	}
 	out, dropped, err := pruneLostTail(hist, rep)
 	if err != nil || dropped != 1 {

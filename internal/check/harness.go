@@ -54,6 +54,11 @@ type HarnessConfig struct {
 	// Salvage recovers in salvage mode even without faults (clean
 	// crashes must classify Healthy and pass the same checks).
 	Salvage bool
+	// DeltaSnapshots switches compaction cuts to base + delta chains
+	// (core.Config.DeltaSnapshots) in both the pre-crash and the
+	// recovered instance, so crash and fault sweeps exercise chain
+	// append, truncation-behind-chains, and base+delta refolding.
+	DeltaSnapshots bool
 }
 
 // HarnessResult carries the artifacts of one run, so tests can make
@@ -104,6 +109,7 @@ func RunCrash(cfg HarnessConfig) (*HarnessResult, error) {
 		NProcs: cfg.NProcs, LogCapacity: logCap, Gate: gate,
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
 		ReadFastPath: cfg.ReadFastPath, LogInlineOps: cfg.LogInlineOps,
+		DeltaSnapshots: cfg.DeltaSnapshots,
 	})
 	if err != nil {
 		return nil, err
@@ -152,8 +158,8 @@ func RunCrash(cfg HarnessConfig) (*HarnessResult, error) {
 	}
 	in2, rep, err := core.Recover(pool, cfg.Spec, core.Config{
 		WaitFree: cfg.WaitFree, LocalViews: cfg.LocalViews, CompactEvery: cfg.CompactEvery,
-		ReadFastPath: cfg.ReadFastPath,
-		Salvage:      cfg.Salvage || cfg.FaultCount > 0,
+		ReadFastPath: cfg.ReadFastPath, DeltaSnapshots: cfg.DeltaSnapshots,
+		Salvage: cfg.Salvage || cfg.FaultCount > 0,
 	})
 	if err != nil {
 		res.RecoverErr = err

@@ -78,10 +78,16 @@ func TestCrashInjectionSweep(t *testing.T) {
 					}
 					cfg.WaitFree = i%3 == 0 // wait-free ordering + compaction combo
 					cfg.ReadFastPath = workload.ReadFastPathEnabled()
+					// Odd iterations cut base + delta chains instead of
+					// full snapshots (unless the CI matrix forces one
+					// scheme), so chain append, truncation behind a live
+					// chain and base+delta refolding all run under the
+					// random crash point.
+					cfg.DeltaSnapshots = workload.DeltaSnapshotLeg(i%2 == 1)
 					res, err := RunCrash(cfg)
 					if err != nil {
-						t.Fatalf("%s procs=%d iter=%d crash@%d inline=%d compact=%d: %v",
-							sp.Name(), nprocs, i, cfg.CrashStep, cfg.LogInlineOps, cfg.CompactEvery, err)
+						t.Fatalf("%s procs=%d iter=%d crash@%d inline=%d compact=%d delta=%v: %v",
+							sp.Name(), nprocs, i, cfg.CrashStep, cfg.LogInlineOps, cfg.CompactEvery, cfg.DeltaSnapshots, err)
 					}
 					// The recovered instance must be servable by every
 					// replacement process, not just consistent on paper.
@@ -123,10 +129,11 @@ func readHeavySweep(t *testing.T, nprocs, iters int) {
 		cfg.CrashStep = 1 + uint64(rng.Int63n(int64(probe.Steps)))
 		cfg.Oracle = pmem.SeededOracle(uint64(cfg.Seed), uint64(rng.Intn(4)), 3)
 		cfg.WaitFree = i%2 == 1
+		cfg.DeltaSnapshots = workload.DeltaSnapshotLeg(i%2 == 0)
 		res, err := RunCrash(cfg)
 		if err != nil {
-			t.Fatalf("read-heavy procs=%d iter=%d crash@%d waitfree=%v fastpath=%v: %v",
-				nprocs, i, cfg.CrashStep, cfg.WaitFree, cfg.ReadFastPath, err)
+			t.Fatalf("read-heavy procs=%d iter=%d crash@%d waitfree=%v fastpath=%v delta=%v: %v",
+				nprocs, i, cfg.CrashStep, cfg.WaitFree, cfg.ReadFastPath, cfg.DeltaSnapshots, err)
 		}
 		if res.Instance != nil {
 			for pid := 0; pid < nprocs; pid++ {

@@ -39,6 +39,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -168,6 +169,21 @@ type Config struct {
 	// record and truncate its log every CompactEvery updates, and cut
 	// the trace behind the snapshot (Section 8 memory reclamation).
 	CompactEvery int
+	// DeltaSnapshots selects delta-chain compaction (DESIGN.md §3.8,
+	// deltacompact.go): a cut appends a chain base (full snapshot) once
+	// and then per-cut delta records — object-specific diffs via
+	// spec.DeltaEmitter where available, verbatim op replay otherwise —
+	// collapsing back to a fresh base when the chain reaches
+	// MaxDeltaChain links or the accumulated delta volume rivals the
+	// state size. Cuts cost O(churn-since-cut) instead of O(state).
+	// Implies LocalViews. With CompactEvery left 0 the cut cadence is
+	// size-aware (Handle.cutEvery) instead of disabled.
+	DeltaSnapshots bool
+	// MaxDeltaChain caps a delta chain's length in links (base
+	// included) before a cut collapses it, bounding both recovery's
+	// fold depth and the volatile trace window between trace cuts. Zero
+	// selects 8. Ignored unless DeltaSnapshots.
+	MaxDeltaChain int
 	// Salvage selects salvaging recovery: instead of failing wholesale
 	// on the first corrupt structure, Recover keeps the longest valid
 	// prefix of every log, harvests checksummed records stranded beyond
@@ -215,13 +231,19 @@ func (c *Config) fill() error {
 		return fmt.Errorf("core: RootBase %d leaves no room for %d log roots (table has %d slots)",
 			c.RootBase, c.NProcs, pmem.RootSlots)
 	}
+	if c.MaxDeltaChain < 0 {
+		return fmt.Errorf("core: MaxDeltaChain %d negative", c.MaxDeltaChain)
+	}
+	if c.MaxDeltaChain == 0 {
+		c.MaxDeltaChain = 8
+	}
 	if c.LogCapacity == 0 {
 		c.LogCapacity = 1 << 12
 	}
 	if c.Gate == nil {
 		c.Gate = sched.NopGate{}
 	}
-	if c.CompactEvery > 0 || c.ReadFastPath {
+	if c.CompactEvery > 0 || c.ReadFastPath || c.DeltaSnapshots {
 		c.LocalViews = true
 	}
 	return nil
@@ -257,6 +279,14 @@ type Instance struct {
 	ringGrows  atomic.Uint64
 	scrubRuns  atomic.Uint64
 	scrubBad   atomic.Uint64
+
+	// Delta-compaction counters (CompactionStats, deltacompact.go).
+	cmpBases       atomic.Uint64
+	cmpDeltas      atomic.Uint64
+	cmpCollapses   atomic.Uint64
+	cmpValveDeltas atomic.Uint64
+	cmpSnapWords   atomic.Uint64
+	cmpFullWords   atomic.Uint64
 }
 
 // New builds a fresh instance of sp on pool. Setup durably writes the
@@ -384,9 +414,14 @@ type Handle struct {
 	// Scratch buffers reused across operations (a Handle runs one
 	// operation at a time, enforced by busy), keeping steady-state
 	// replay allocation-free: fuzzyBuf caps out at the fuzzy-window
-	// bound (Proposition 5.2), nodeBuf at the read lag.
+	// bound (Proposition 5.2), nodeBuf at the read lag. deltaOps and
+	// deltaBuf are the delta-cut scratch (deltacompact.go) — separate
+	// from fuzzyBuf, which still holds the in-flight window when the
+	// pressure valve cuts a delta mid-persist.
 	fuzzyBuf []spec.Op
 	nodeBuf  []*trace.Node
+	deltaOps []spec.Op
+	deltaBuf []uint64
 
 	// Trace-node pooling (the last alloc/op on the update path). floor
 	// publishes, for the handle's in-flight operation, a lower bound on
@@ -520,9 +555,9 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 		h.publishFromUpdate()
 	}
 
-	if in.cfg.CompactEvery > 0 {
+	if ce := h.cutEvery(); ce > 0 {
 		h.sinceCompact++
-		if h.sinceCompact >= in.cfg.CompactEvery {
+		if h.sinceCompact >= ce {
 			h.sinceCompact = 0
 			if cerr := h.compact(node); cerr != nil {
 				err = fmt.Errorf("core: compaction: %w", cerr)
@@ -868,7 +903,35 @@ func (h *Handle) compact(node *trace.Node) error {
 	if h.viewIdx != s {
 		return fmt.Errorf("core: compact view at %d, node at %d", h.viewIdx, s)
 	}
-	snap, seqs, err := h.snapshotAndTruncate(s)
+	var snap, seqs []uint64
+	var err error
+	if h.in.cfg.DeltaSnapshots {
+		// Delta cuts truncate the log but do NOT cut the trace: the
+		// window they cover must stay walkable for the next delta, and
+		// recovery reaches the chain through body back-references. The
+		// trace is cut only on base/collapse cuts below.
+		done, foreign, derr := h.tryDeltaCut(node)
+		if done || derr != nil {
+			return derr
+		}
+		snap, seqs, err = h.chainBaseAndTruncate(s)
+		if err != nil {
+			return err
+		}
+		if foreign {
+			// This base was forced by a sentinel another handle
+			// spliced inside our window, so the trace was already cut
+			// (and bounded) at that sentinel moments ago. Splicing our
+			// own sentinel here would land inside THAT handle's next
+			// window and force it to collapse too — with two or more
+			// cutters the induced bases ping-pong forever and no delta
+			// ever lands. Leave the trace alone; the next clean-window
+			// base (oversize or scheduled collapse) splices as usual.
+			return nil
+		}
+	} else {
+		snap, seqs, err = h.snapshotAndTruncate(s)
+	}
 	if err != nil {
 		return err
 	}
@@ -893,18 +956,40 @@ func (h *Handle) compact(node *trace.Node) error {
 // index is already durable (the previous update's fence covered its
 // whole fuzzy window), so the snapshot is a valid recovery base — this
 // is exactly compact's log half. Unlike compact it does NOT cut the
-// trace: the in-flight operation is ordered but not yet available, so
-// the trace must stay intact for readers and walkers. Costs two extra
-// persistent fences (snapshot + truncate), only on the exhaustion
-// path.
-func (h *Handle) compactForSpace() error {
+// trace: the in-flight operation (node, ordered but not yet available)
+// is only used to reach the delta window; the trace must stay intact
+// for readers and walkers. Costs two extra persistent fences (snapshot
+// + truncate), only on the exhaustion path.
+//
+// Under DeltaSnapshots the valve prefers a delta cut — O(churn) where
+// the full snapshot is O(state) — and falls back to a collapsing base
+// cut when the chain cannot absorb one. A view still sitting at the
+// chain head has nothing new to cover; that is reported as an error so
+// the valve ladder's catch-up rung advances the view first.
+func (h *Handle) compactForSpace(node *trace.Node) error {
 	if h.view == nil {
 		return errors.New("core: overflow ring full and no local view to compact from")
 	}
 	if h.viewIdx == 0 || h.in.logs[h.pid].Len() == 0 {
 		return errors.New("core: overflow ring full with nothing to compact")
 	}
-	_, _, err := h.snapshotAndTruncate(h.viewIdx)
+	if !h.in.cfg.DeltaSnapshots {
+		_, _, err := h.snapshotAndTruncate(h.viewIdx)
+		return err
+	}
+	log := h.in.logs[h.pid]
+	if log.ChainLen() > 0 && h.viewIdx > log.ChainHead() && !h.shouldCollapse(log) {
+		if err := h.valveDeltaCut(log, node); err == nil {
+			h.in.cmpValveDeltas.Add(1)
+			return nil
+		}
+		// Any delta failure (oversize, foreign base, log geometry) falls
+		// through to the collapsing base cut: strictly more coverage.
+	}
+	if log.ChainLen() > 0 && h.viewIdx == log.ChainHead() && log.Len() <= 1 {
+		return fmt.Errorf("core: view at %d already covered by the delta chain head", h.viewIdx)
+	}
+	_, _, err := h.chainBaseAndTruncate(h.viewIdx)
 	return err
 }
 
@@ -1020,10 +1105,19 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 	in.initFastPath()
 	var (
 		records  []plog.Record
+		cands    []baseCand // compaction records recovery may restart from
 		salv     *SalvageReport
 		evidence []error // loss evidence: any entry quarantines
 		damaged  bool    // non-benign damage seen (degraded unless loss)
 	)
+	collect := func(pid int, l *plog.Log, recs []plog.Record) {
+		records = append(records, recs...)
+		for _, r := range recs {
+			if r.Kind == plog.KindSnapshot || r.Kind == plog.KindDelta {
+				cands = append(cands, baseCand{pid: pid, log: l, rec: r})
+			}
+		}
+	}
 	if cfg.Salvage {
 		salv = &SalvageReport{PerPid: make([]PidSalvage, nprocs)}
 	}
@@ -1042,28 +1136,48 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 			continue
 		}
 		in.logs = append(in.logs, l)
-		if !cfg.Salvage {
-			records = append(records, l.Records()...)
-			continue
-		}
-		s := l.SalvageScan()
-		ps := &salv.PerPid[pid]
-		ps.BadSlots, ps.Orphans, ps.TailTorn = len(s.BadSeqs), len(s.Orphans), s.TailTorn()
-		records = append(records, s.Live...)
-		records = append(records, s.Orphans...)
-		if s.Damaged() {
-			damaged = true
+		var live []plog.Record
+		if cfg.Salvage {
+			s := l.SalvageScan()
+			ps := &salv.PerPid[pid]
+			ps.BadSlots, ps.Orphans, ps.TailTorn = len(s.BadSeqs), len(s.Orphans), s.TailTorn()
+			collect(pid, l, s.Live)
+			collect(pid, l, s.Orphans)
+			if s.Damaged() {
+				damaged = true
+			}
+			live = s.Live
+		} else {
+			live = l.Records()
+			collect(pid, l, live)
 		}
 		// Truncation-coverage invariant: headSeq > 0 means compaction
 		// truncated records, and compaction always leaves its covering
-		// snapshot as the oldest live record. A violated invariant means
-		// the snapshot — and everything it covered — is gone.
+		// record — a snapshot, or a delta-chain record whose chain must
+		// still resolve — as the oldest live record (the covering
+		// append is fenced before the truncate is, so every crash-legal
+		// image satisfies this). A violated invariant means the
+		// coverage, and everything it covered, is gone: silent loss,
+		// fatal in strict mode and quarantine evidence under salvage.
 		if l.HeadSeq() > 0 {
-			covered := len(s.Live) > 0 && s.Live[0].Kind == plog.KindSnapshot && s.Live[0].Seq == l.HeadSeq()+1
+			covered := false
+			if len(live) > 0 && live[0].Seq == l.HeadSeq()+1 {
+				switch live[0].Kind {
+				case plog.KindSnapshot:
+					covered = true
+				case plog.KindDelta:
+					_, rerr := l.ResolveChain(live[0])
+					covered = rerr == nil
+				}
+			}
 			if !covered {
-				evidence = append(evidence, fmt.Errorf(
+				cerr := fmt.Errorf(
 					"%w: p%d truncated through seq %d but the covering snapshot is unreadable",
-					ErrSnapshotCorrupt, pid, l.HeadSeq()))
+					ErrSnapshotCorrupt, pid, l.HeadSeq())
+				if !cfg.Salvage {
+					return nil, nil, cerr
+				}
+				evidence = append(evidence, cerr)
 			}
 		}
 	}
@@ -1073,37 +1187,33 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 		CoveredSeq: map[int]uint64{}, Salvage: salv,
 	}
 
-	// Newest valid snapshot wins.
-	var basePayload []uint64
-	for _, rec := range records {
-		if rec.Kind == plog.KindSnapshot && rec.ExecIdx >= rep.BaseIdx && rec.State != nil {
-			rep.BaseIdx, basePayload = rec.ExecIdx, rec.State
-		}
-	}
+	// Newest valid compaction record wins: a plain full snapshot, or
+	// the head of a delta chain folded back into a full state
+	// (foldBaseCandidate, deltacompact.go). Candidates are tried
+	// newest-first; one that does not fold — an unresolvable chain, an
+	// undecodable payload, a corrupt diff — is unreconstructible
+	// coverage: fatal in strict mode, loss evidence plus the next
+	// candidate under salvage.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].rec.ExecIdx > cands[j].rec.ExecIdx })
 	var baseSeqs []uint64
-	if rep.BaseIdx > 0 {
-		if basePayload == nil {
-			return nil, nil, errors.New("core: snapshot index without snapshot state")
-		}
-		var err error
-		baseSeqs, rep.BaseState, err = snapDecode(basePayload)
+	for _, c := range cands {
+		seqs, state, err := foldBaseCandidate(sp, c.log, c.rec)
 		if err != nil {
+			err = fmt.Errorf("%w: p%d at index %d: %v", ErrSnapshotCorrupt, c.pid, c.rec.ExecIdx, err)
 			if !cfg.Salvage {
 				return nil, nil, err
 			}
-			// The record's checksum verified but the payload does not
-			// decode — unreconstructible coverage: loss evidence. Fall
-			// back to recovering from index 0 with whatever survives.
-			evidence = append(evidence, fmt.Errorf("%w: undecodable snapshot at index %d: %v",
-				ErrSnapshotCorrupt, rep.BaseIdx, err))
-			rep.BaseIdx, basePayload, baseSeqs, rep.BaseState = 0, nil, nil, nil
+			evidence = append(evidence, err)
+			continue
 		}
-		for pid, seq := range baseSeqs {
-			if seq > 0 {
-				rep.CoveredSeq[pid] = seq
-				if seq > rep.PerProcessSeq[pid] {
-					rep.PerProcessSeq[pid] = seq
-				}
+		rep.BaseIdx, rep.BaseState, baseSeqs = c.rec.ExecIdx, state, seqs
+		break
+	}
+	for pid, seq := range baseSeqs {
+		if seq > 0 {
+			rep.CoveredSeq[pid] = seq
+			if seq > rep.PerProcessSeq[pid] {
+				rep.PerProcessSeq[pid] = seq
 			}
 		}
 	}

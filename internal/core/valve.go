@@ -58,8 +58,8 @@ func (h *Handle) persistWithValve(fuzzy []spec.Op, node *trace.Node, aerr error)
 		run  func() error
 	}
 	ladder := []rung{
-		{"compact", h.compactForSpace},
-		{"catch-up+compact", func() error { h.catchUpView(); return h.compactForSpace() }},
+		{"compact", func() error { return h.compactForSpace(node) }},
+		{"catch-up+compact", func() error { h.catchUpView(); return h.compactForSpace(node) }},
 		{"grow-ring", h.growRing},
 	}
 	if in.logs[h.pid].Spills()-h.spillsAtGrow > growSpillThreshold {
@@ -67,7 +67,7 @@ func (h *Handle) persistWithValve(fuzzy []spec.Op, node *trace.Node, aerr error)
 		// only briefly. Go straight to growth, keeping one compaction
 		// rung as the pre-growth cleanup.
 		ladder = []rung{
-			{"compact", h.compactForSpace},
+			{"compact", func() error { return h.compactForSpace(node) }},
 			{"grow-ring", h.growRing},
 		}
 	}
@@ -136,6 +136,12 @@ func (h *Handle) growRing() error {
 			_, err = nl.Append(rec.Ops, rec.ExecIdx)
 		case plog.KindSnapshot:
 			_, err = nl.AppendSnapshot(rec.State, rec.ExecIdx)
+		case plog.KindDelta:
+			// A chain record's index never exceeds its owner's view
+			// index (cuts happen at the view), so the seed snapshot
+			// above always covers it. The grown log starts chainless;
+			// the next cut lays a fresh base.
+			err = fmt.Errorf("core: delta chain record at index %d above grow seed %d", rec.ExecIdx, snapIdx)
 		}
 		if err != nil {
 			return fmt.Errorf("core: migrating record to grown log: %w", err)

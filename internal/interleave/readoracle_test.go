@@ -145,7 +145,10 @@ func runReadOracle(t *testing.T, fast, wf bool, seed int64) {
 //
 // An eager adoption threshold plus compaction forces serves, stamps,
 // adoptions and base restores to interleave with the scheduler's
-// preemptions; the final cross-check counts every insert.
+// preemptions; the final cross-check counts every insert. The whole
+// matrix runs with full-snapshot AND delta-chain compaction, so the
+// fast path's epoch checks and adoptions interleave with delta cuts,
+// ordered-map diff emission and chain-base collapses too.
 func TestDurableReadOracleYCSBD(t *testing.T) {
 	seeds := 8
 	if testing.Short() {
@@ -159,15 +162,17 @@ func TestDurableReadOracleYCSBD(t *testing.T) {
 		seeds = n
 	}
 	for _, noPub := range []bool{false, true} {
-		t.Run(fmt.Sprintf("updatePublish=%v", !noPub), func(t *testing.T) {
-			for seed := 0; seed < seeds; seed++ {
-				runReadLatestOracle(t, noPub, int64(seed))
-			}
-		})
+		for _, deltaSnap := range []bool{false, true} {
+			t.Run(fmt.Sprintf("updatePublish=%v/delta=%v", !noPub, deltaSnap), func(t *testing.T) {
+				for seed := 0; seed < seeds; seed++ {
+					runReadLatestOracle(t, noPub, deltaSnap, int64(seed))
+				}
+			})
+		}
 	}
 }
 
-func runReadLatestOracle(t *testing.T, noPub bool, seed int64) {
+func runReadLatestOracle(t *testing.T, noPub, deltaSnap bool, seed int64) {
 	t.Helper()
 	const nprocs = 3
 	const perProc = 16
@@ -176,6 +181,7 @@ func runReadLatestOracle(t *testing.T, noPub bool, seed int64) {
 	in, err := core.New(pool, objects.OrderedMapSpec{}, core.Config{
 		NProcs: nprocs, Gate: ctl, ReadFastPath: true,
 		CompactEvery: 6, LogCapacity: 512,
+		DeltaSnapshots: deltaSnap, MaxDeltaChain: 3,
 		AdoptPolicy: core.AdoptPolicy{
 			FixedMinLag:          2, // adopt eagerly: tiny runs must still exercise the slot
 			PublishLag:           1,
@@ -210,14 +216,14 @@ func runReadLatestOracle(t *testing.T, noPub bool, seed int64) {
 					k := base + minted - (r - 1)
 					want := k*3 + (minted - (r - 1))
 					if got := h.Read(objects.OMapGet, k); got != want {
-						t.Errorf("seed=%d noPub=%v p%d: get(own %#x) = %d, want %d (read-your-writes violated)",
-							seed, noPub, pid, k, got, want)
+						t.Errorf("seed=%d noPub=%v delta=%v p%d: get(own %#x) = %d, want %d (read-your-writes violated)",
+							seed, noPub, deltaSnap, pid, k, got, want)
 					}
 				default:
 					got := h.Read(objects.OMapLen)
 					if got < sizeSeen {
-						t.Errorf("seed=%d noPub=%v p%d: len %d after observing %d (view regressed)",
-							seed, noPub, pid, got, sizeSeen)
+						t.Errorf("seed=%d noPub=%v delta=%v p%d: len %d after observing %d (view regressed)",
+							seed, noPub, deltaSnap, pid, got, sizeSeen)
 					}
 					sizeSeen = got
 				}
@@ -240,11 +246,11 @@ func runReadLatestOracle(t *testing.T, noPub bool, seed int64) {
 	}
 	for _, ch := range outcomes {
 		if r := <-ch; r != nil {
-			t.Fatalf("seed=%d noPub=%v: process failed: %v", seed, noPub, r)
+			t.Fatalf("seed=%d noPub=%v delta=%v: process failed: %v", seed, noPub, deltaSnap, r)
 		}
 	}
 	if got, want := in.Handle(0).Read(objects.OMapLen), totalInserts.Load(); got != want {
-		t.Fatalf("seed=%d noPub=%v: final size %d, want %d inserts", seed, noPub, got, want)
+		t.Fatalf("seed=%d noPub=%v delta=%v: final size %d, want %d inserts", seed, noPub, deltaSnap, got, want)
 	}
 }
 

@@ -1,0 +1,162 @@
+package objects
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// deltaCase drives one emitter/applier pair: apply a random op window
+// to a clone, emit the diff from the post-window state, fold it into
+// the pre-window state, and require spec.Equal.
+func deltaCase(t *testing.T, sp spec.Spec, genOp func(r *rand.Rand, i int) spec.Op) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	base := sp.New()
+	// A populated base so deltas mix inserts, overwrites and deletes of
+	// pre-existing keys.
+	for i := 0; i < 200; i++ {
+		base.Apply(genOp(r, i))
+	}
+	for round := 0; round < 50; round++ {
+		after := base.Clone()
+		ops := make([]spec.Op, 1+r.Intn(32))
+		for i := range ops {
+			ops[i] = genOp(r, round*100+i)
+			after.Apply(ops[i])
+		}
+		words, ok := after.(spec.DeltaEmitter).EmitDelta(nil, ops)
+		if !ok {
+			t.Fatalf("%s: emitter declined an all-update window", sp.Name())
+		}
+		if err := base.(spec.DeltaApplier).ApplyDelta(words); err != nil {
+			t.Fatalf("%s: ApplyDelta: %v", sp.Name(), err)
+		}
+		if !spec.Equal(base, after) {
+			t.Fatalf("%s round %d: delta round-trip diverged", sp.Name(), round)
+		}
+	}
+}
+
+func TestMapDeltaRoundTrip(t *testing.T) {
+	deltaCase(t, MapSpec{}, func(r *rand.Rand, i int) spec.Op {
+		k := uint64(r.Intn(64))
+		switch r.Intn(4) {
+		case 0:
+			return spec.Op{Code: MapDel, Args: [3]uint64{k}}
+		case 1:
+			return spec.Op{Code: MapCAS, Args: [3]uint64{k, uint64(r.Intn(8)), uint64(i)}}
+		default:
+			return spec.Op{Code: MapPut, Args: [3]uint64{k, uint64(i) + 1}}
+		}
+	})
+}
+
+func TestSetDeltaRoundTrip(t *testing.T) {
+	deltaCase(t, SetSpec{}, func(r *rand.Rand, i int) spec.Op {
+		k := uint64(r.Intn(64))
+		if r.Intn(3) == 0 {
+			return spec.Op{Code: SetRemove, Args: [3]uint64{k}}
+		}
+		return spec.Op{Code: SetAdd, Args: [3]uint64{k}}
+	})
+}
+
+func TestOrderedMapDeltaRoundTrip(t *testing.T) {
+	deltaCase(t, OrderedMapSpec{}, func(r *rand.Rand, i int) spec.Op {
+		k := uint64(r.Intn(64))
+		if r.Intn(4) == 0 {
+			return spec.Op{Code: OMapDel, Args: [3]uint64{k}}
+		}
+		return spec.Op{Code: OMapPut, Args: [3]uint64{k, uint64(i) + 1}}
+	})
+}
+
+// TestDeltaEmitterDeclines pins the conservative escape hatch: a window
+// containing an opcode the emitter cannot summarize returns ok false
+// and leaves dst untouched, so the caller falls back to op replay.
+func TestDeltaEmitterDeclines(t *testing.T) {
+	st := MapSpec{}.New().(*mapState)
+	ops := []spec.Op{{Code: MapPut, Args: [3]uint64{1, 2}}, {Code: 999}}
+	dst := []uint64{7, 7}
+	out, ok := st.EmitDelta(dst, ops)
+	if ok {
+		t.Fatal("emitter accepted an unknown opcode")
+	}
+	if len(out) != 2 || out[0] != 7 || out[1] != 7 {
+		t.Fatalf("declined emit mutated dst: %v", out)
+	}
+}
+
+// TestDeltaApplierRejectsCorrupt pins untrusted-input validation: bad
+// tags, bad counts, unsorted keys and bad markers all error without
+// panicking or partially applying garbage.
+func TestDeltaApplierRejectsCorrupt(t *testing.T) {
+	good := func() []uint64 {
+		st := MapSpec{}.New().(*mapState)
+		ops := []spec.Op{
+			{Code: MapPut, Args: [3]uint64{3, 30}},
+			{Code: MapPut, Args: [3]uint64{1, 10}},
+		}
+		st.Apply(ops[0])
+		st.Apply(ops[1])
+		w, ok := st.EmitDelta(nil, ops)
+		if !ok {
+			t.Fatal("emit failed")
+		}
+		return w
+	}
+	cases := map[string]func(w []uint64) []uint64{
+		"bad tag":     func(w []uint64) []uint64 { w[0] ^= 1; return w },
+		"bad count":   func(w []uint64) []uint64 { w[1] = 99; return w },
+		"truncated":   func(w []uint64) []uint64 { return w[:len(w)-1] },
+		"unsorted":    func(w []uint64) []uint64 { w[2], w[3] = w[3], w[2]; return w },
+		"bad marker":  func(w []uint64) []uint64 { w[len(w)-2] = 7; return w },
+		"empty":       func(w []uint64) []uint64 { return nil },
+		"header only": func(w []uint64) []uint64 { return w[:1] },
+	}
+	for name, mut := range cases {
+		st := MapSpec{}.New().(*mapState)
+		if err := st.ApplyDelta(mut(good())); err == nil {
+			t.Errorf("%s: corrupt delta accepted", name)
+		}
+	}
+}
+
+// TestDeltaLWWSemantics pins last-writer-wins compression: a key put
+// then deleted inside one window emits a single tombstone, and the
+// whole diff is strictly smaller than the op-replay encoding for a
+// window that rewrites one hot key.
+func TestDeltaLWWSemantics(t *testing.T) {
+	st := MapSpec{}.New().(*mapState)
+	var ops []spec.Op
+	for i := 0; i < 20; i++ {
+		op := spec.Op{Code: MapPut, Args: [3]uint64{5, uint64(i)}}
+		st.Apply(op)
+		ops = append(ops, op)
+	}
+	del := spec.Op{Code: MapDel, Args: [3]uint64{5}}
+	st.Apply(del)
+	ops = append(ops, del)
+	w, ok := st.EmitDelta(nil, ops)
+	if !ok {
+		t.Fatal("emit failed")
+	}
+	// One touched key: [tag, 1, k, marker, val] = 5 words, vs 21 ops *
+	// spec.OpWords for replay.
+	if len(w) != 5 {
+		t.Fatalf("diff is %d words, want 5: %v", len(w), w)
+	}
+	if w[3] != deltaAbsent {
+		t.Fatalf("deleted key emitted marker %d, want tombstone", w[3])
+	}
+	fresh := MapSpec{}.New().(*mapState)
+	fresh.Apply(spec.Op{Code: MapPut, Args: [3]uint64{5, 1}})
+	if err := fresh.ApplyDelta(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Read(spec.Op{Code: MapGet, Args: [3]uint64{5}}); got != spec.RetMissing {
+		t.Fatalf("tombstone did not delete: got %d", got)
+	}
+}

@@ -160,6 +160,99 @@ func TestFuzzRandomCorruptionTwoTierNeverPanics(t *testing.T) {
 	}
 }
 
+// buildLogWithDeltaChain returns a pool and a log holding ops records
+// plus a live delta chain (base + 3 deltas) truncated down to the chain
+// head — the shape delta-cut compaction leaves behind.
+func buildLogWithDeltaChain(t *testing.T) (*pmem.Pool, *Log) {
+	t.Helper()
+	pool := pmem.New(1<<20, nil)
+	l, err := Create(pool, 0, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []uint64{0xC0DE0007, 2, 10, 100, 20, 200}
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Append([]spec.Op{op(uint64(i), uint64(i))}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendChainBase(state, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i <= 7; i++ {
+		if _, err := l.Append([]spec.Op{op(uint64(i), uint64(i))}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.AppendDelta([]uint64{uint64(i), uint64(i * 10)}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Truncate(l.NextSeq() - 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pool, l
+}
+
+// TestFuzzRandomCorruptionDeltaChainNeverPanics sprays random durable
+// bit flips over a log whose live state is a delta chain: header, the
+// surviving record slot, chain bodies and back-references alike. Open +
+// Records + ResolveChain must reject or return only verifying,
+// base-anchored chains — never panic, never follow a forged pointer out
+// of bounds.
+func TestFuzzRandomCorruptionDeltaChainNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		pool, l := buildLogWithDeltaChain(t)
+		pool.Crash(pmem.DropAll)
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			w := rng.Intn(pool.Size() / (4 * pmem.WordSize))
+			addr := pmem.Addr(w * pmem.WordSize)
+			var val uint64
+			switch rng.Intn(3) {
+			case 0:
+				val = rng.Uint64()
+			case 1:
+				val = pool.DurableWord(addr) ^ (1 << uint(rng.Intn(64)))
+			default:
+				val = ^uint64(0)
+			}
+			corrupt(pool, addr, val)
+		}
+		pool.Crash(pmem.DropAll)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			l2, err := Open(pool, 0, l.Base())
+			if err != nil {
+				return // rejected: fine
+			}
+			for _, rec := range l2.Records() {
+				if rec.Kind != KindDelta {
+					continue
+				}
+				if rec.Body == nil {
+					t.Fatalf("trial %d: delta record without body", trial)
+				}
+				elems, err := l2.ResolveChain(rec)
+				if err != nil {
+					continue // unresolvable: recovery falls back
+				}
+				if len(elems) == 0 || !elems[0].Base {
+					t.Fatalf("trial %d: resolved chain not base-anchored", trial)
+				}
+				for i := 1; i < len(elems); i++ {
+					if elems[i].Base || elems[i].ExecIdx <= elems[i-1].ExecIdx {
+						t.Fatalf("trial %d: chain order violated", trial)
+					}
+				}
+			}
+		}()
+	}
+}
+
 // TestTruncatedSnapshotRegionRejected shrinks a snapshot record's region
 // length below the written state (a torn count word) and requires the
 // record to fail verification, not to panic or return short state.

@@ -79,6 +79,11 @@ const (
 	// into the overflow ring. Decoded Records normalize it to KindOps
 	// (with Overflow set), so readers never care about the split.
 	kindOpsOvf = 3
+	// KindDelta is a delta-chain compaction record (chain base or
+	// delta; see chain.go): the same {addr, words, sum} inline payload
+	// as a snapshot, pointing at a body whose frame back-references the
+	// chain predecessor.
+	KindDelta = 4
 )
 
 // Header layout (one cache line at the region base). The final word
@@ -165,6 +170,14 @@ type Log struct {
 	snapRegion [2]pmem.Addr
 	snapCap    [2]int // words
 	snapNext   int
+
+	// Delta-chain state (chain.go): the resolved live chain base-first,
+	// the seq of its newest record (Truncate must not drop it), the
+	// body-region free list and the body encoding scratch.
+	chain     []chainLink
+	chainSeq  uint64
+	chainPool []chainRegion
+	chainBuf  []uint64
 
 	// Encoding scratch, reused across appends (a Log is owned by one
 	// process, so appends never overlap): steady-state Append is
@@ -431,6 +444,10 @@ func Open(pool *pmem.Pool, pid int, base pmem.Addr) (*Log, error) {
 			l.ovfNext = rec.ovfOff + alignLineWords(rec.ovfLen)
 		}
 	}
+	// Rebuild the volatile delta-chain state from the newest live
+	// KindDelta record, so a recovered log continues its chain instead
+	// of forcing a fresh base.
+	l.rebuildChain(recs)
 	return l, nil
 }
 
@@ -614,6 +631,11 @@ func (l *Log) AppendSnapshot(state []uint64, execIdx uint64) (uint64, error) {
 	seq, err := l.appendRecord(KindSnapshot, uint64(len(payload)), execIdx, payload)
 	if err == nil {
 		l.snapNext = 1 - k
+		// A fenced full snapshot supersedes any live delta chain: its
+		// body regions become reusable and the next delta cut must
+		// start a fresh base.
+		l.releaseChain()
+		l.chainSeq = 0
 	}
 	return seq, err
 }
@@ -655,6 +677,11 @@ func (l *Log) Truncate(upto uint64) error {
 	if upto < l.headSeq || upto >= l.nextSeq {
 		return fmt.Errorf("plog: truncate %d outside live range (%d, %d)", upto, l.headSeq, l.nextSeq-1)
 	}
+	if len(l.chain) > 0 && upto >= l.chainSeq {
+		// Dropping the newest chain record would orphan the whole chain
+		// (its base is only reachable through that record's body).
+		return fmt.Errorf("plog: truncate %d would orphan the delta chain at seq %d", upto, l.chainSeq)
+	}
 	if upto == l.headSeq {
 		return nil
 	}
@@ -686,11 +713,41 @@ type Record struct {
 	Ops []spec.Op
 	// State is populated for KindSnapshot records.
 	State []uint64
+	// Body is populated for KindDelta records: the validated chain body
+	// (frame + payload; see chain.go). ChainBase and DeltaPayload
+	// decode it.
+	Body []uint64
 	// Overflow reports that the record's tail lived in the overflow
 	// ring (the decoded Ops are complete either way).
 	Overflow bool
 
-	ovfOff, ovfLen int // claimed span, when Overflow
+	ovfOff, ovfLen int       // claimed span, when Overflow
+	bodyAddr       pmem.Addr // chain body address, when KindDelta
+}
+
+// ChainBase reports whether a KindDelta record is a chain base (a full
+// snapshot) rather than a delta.
+func (r *Record) ChainBase() bool {
+	return r.Kind == KindDelta && len(r.Body) > cbKind && r.Body[cbKind] == chainBodyBase
+}
+
+// DeltaPayload returns the caller payload of a KindDelta record's body
+// (the chain frame stripped).
+func (r *Record) DeltaPayload() []uint64 {
+	if r.Kind != KindDelta || len(r.Body) < cbHdrWords {
+		return nil
+	}
+	return r.Body[cbHdrWords:]
+}
+
+// ChainBody returns the record's body region as (address, words) and
+// whether the record is a chain record at all — corruption tests aim
+// media faults at specific chain bodies with it.
+func (r *Record) ChainBody() (pmem.Addr, int, bool) {
+	if r.Kind != KindDelta {
+		return 0, 0, false
+	}
+	return r.bodyAddr, len(r.Body), true
 }
 
 // OverflowSpan returns the record's overflow chunk as (offset, words)
@@ -723,6 +780,11 @@ const (
 	// SlotBadSnap: a snapshot record verified inline but its state
 	// region pointer is out of bounds or the body checksum fails.
 	SlotBadSnap
+	// SlotBadDelta: a delta-chain record verified inline but its body
+	// pointer is out of bounds, the body checksum fails, or the body
+	// frame is malformed. (Chain PREDECESSOR damage is not a slot
+	// status: it surfaces when the chain is resolved.)
+	SlotBadDelta
 )
 
 func (s SlotStatus) String() string {
@@ -737,6 +799,8 @@ func (s SlotStatus) String() string {
 		return "bad-overflow"
 	case SlotBadSnap:
 		return "bad-snapshot"
+	case SlotBadDelta:
+		return "bad-delta"
 	}
 	return "unknown"
 }
@@ -795,7 +859,7 @@ func (l *Log) probeSlot(seq uint64, rd wordReader) (Record, SlotStatus) {
 			return Record{}, SlotBad
 		}
 		plen = l.inlineOps*spec.OpWords + ovfDescWords
-	case KindSnapshot:
+	case KindSnapshot, KindDelta:
 		plen = field
 		if plen != 3 {
 			return Record{}, SlotBad
@@ -864,6 +928,27 @@ func (l *Log) probeSlot(seq uint64, rd wordReader) (Record, SlotStatus) {
 			return Record{}, SlotBadSnap // torn snapshot body: record never happened
 		}
 		rec.State = state
+	case KindDelta:
+		region, n, sum := pmem.Addr(words[3]), int(words[4]), words[5]
+		// Same untrusted-pointer discipline as snapshots, plus the chain
+		// frame invariants: a valid body kind and an execIdx matching the
+		// record's. Predecessor damage is NOT probed here — it surfaces
+		// when the chain is resolved.
+		if n < cbHdrWords+1 || n > (1<<28) || !l.pool.Contains(region, n*pmem.WordSize) {
+			return Record{}, SlotBadDelta
+		}
+		body := make([]uint64, n)
+		for i := range body {
+			body[i] = rd(region + pmem.Addr(i*pmem.WordSize))
+		}
+		if checksum(body) != sum {
+			return Record{}, SlotBadDelta // torn chain body: record never appended
+		}
+		if body[cbKind] > chainBodyDelta || body[cbExec] != words[2] {
+			return Record{}, SlotBadDelta
+		}
+		rec.Body = body
+		rec.bodyAddr = region
 	}
 	return rec, SlotOK
 }
@@ -907,7 +992,8 @@ type Salvage struct {
 	Orphans []Record
 	// BadSeqs lists the sequence numbers whose slot held a same-seq
 	// record that failed validation (status SlotBad/SlotBadOvf/
-	// SlotBadSnap), in probe order. Stale slots are not damage.
+	// SlotBadSnap/SlotBadDelta), in probe order. Stale slots are not
+	// damage.
 	BadSeqs []uint64
 	// FirstBadStatus is the status of the first non-OK, non-final slot
 	// probe (SlotStale when the walk simply ran off the appended end).
@@ -972,7 +1058,7 @@ func (l *Log) salvageWalk(rd wordReader) Salvage {
 			}
 			s.LastValid = seq
 			continue
-		case SlotBad, SlotBadOvf, SlotBadSnap:
+		case SlotBad, SlotBadOvf, SlotBadSnap, SlotBadDelta:
 			s.BadSeqs = append(s.BadSeqs, seq)
 		}
 		if !sawBad {
@@ -995,13 +1081,20 @@ type ScrubResult struct {
 	// invalid record at the append frontier is what an interrupted
 	// append leaves and is not latent corruption.
 	BenignTear bool
+	// ChainBad reports a delta-chain record (live or orphaned) whose
+	// chain did not resolve in the durable image — a back-reference out
+	// of bounds or a predecessor body whose checksum no longer matches
+	// the reference that pins it. The head record itself probed OK, so
+	// this is latent damage only chain resolution can see.
+	ChainBad bool
 }
 
 // Faulty reports whether the scrub found anything a future recovery
 // could stumble on: a damaged header, orphaned records, or invalid
 // records that are not explainable as one torn in-flight append.
 func (r *ScrubResult) Faulty() bool {
-	return !r.HeaderOK || r.Orphans > 0 || (len(r.BadSlots) > 0 && !r.BenignTear)
+	return !r.HeaderOK || r.ChainBad || r.Orphans > 0 ||
+		(len(r.BadSlots) > 0 && !r.BenignTear)
 }
 
 // Scrub walks the log's slots, overflow chunks and snapshot regions in
@@ -1034,5 +1127,19 @@ func (l *Log) Scrub() ScrubResult {
 	res.Orphans = len(s.Orphans)
 	res.BadSlots = s.BadSeqs
 	res.BenignTear = s.BenignTear()
+	// Delta chains: the newest chain record of each group probes OK on
+	// its own, but its predecessors are only reachable through body
+	// back-references — resolve them against the durable image too.
+	for _, recs := range [][]Record{s.Live, s.Orphans} {
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].Kind != KindDelta {
+				continue
+			}
+			if _, _, err := l.resolveLinks(recs[i], l.durableReader()); err != nil {
+				res.ChainBad = true
+			}
+			break // only the newest chain record per group is live
+		}
+	}
 	return res
 }

@@ -125,6 +125,37 @@ func SizeHint(st State) int {
 	return 0
 }
 
+// DeltaEmitter is an optional State extension for delta-chain
+// compaction (DESIGN.md §3.8): EmitDelta appends to dst a compact
+// object-specific diff covering exactly the effect of ops — the updates
+// applied to this state since the chain's previous cut — and returns
+// the extended slice with ok true. The receiver is the state AFTER ops
+// have been applied, so emitters typically dedupe the keys ops touched
+// and serialize their current values (or tombstones). Returning ok
+// false declines this particular delta (e.g. the op mix contains a code
+// the emitter cannot summarize); the caller then falls back to the
+// universal op-replay encoding. The emitted words must round-trip
+// through the paired DeltaApplier: applying them to any state that has
+// seen the same prefix must yield a state Equal to the receiver.
+//
+// Like Snapshot, the emitted diff must be deterministic — two states
+// reached by the same update sequence must emit identical words for the
+// same ops. EmitDelta must not mutate the state and should not allocate
+// beyond growing dst.
+type DeltaEmitter interface {
+	EmitDelta(dst []uint64, ops []Op) ([]uint64, bool)
+}
+
+// DeltaApplier is the restore-side pair of DeltaEmitter: ApplyDelta
+// folds an emitted diff into the state (which holds the chain prefix up
+// to the delta's predecessor). It validates the words as untrusted
+// input — a corrupt diff must return an error, never panic or silently
+// misapply. States implementing DeltaEmitter must implement
+// DeltaApplier too; recovery checks for the pair together.
+type DeltaApplier interface {
+	ApplyDelta(words []uint64) error
+}
+
 // Copy replaces dst's contents with src's, via Copier when dst supports
 // it and through the snapshot wire format otherwise.
 func Copy(dst, src State) {

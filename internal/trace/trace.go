@@ -510,10 +510,21 @@ func CollectBackInto(buf []*Node, n *Node, downTo uint64) (nodes []*Node, base *
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
-	// Clear the buffer's unused tail: stale node pointers there would
-	// pin compacted trace prefixes (and their base snapshots) against GC
-	// for as long as the caller keeps the scratch buffer.
-	clear(out[len(out):cap(out)])
+	// Clear the buffer's stale tail: node pointers left by an earlier,
+	// longer collection would pin compacted trace prefixes (and their
+	// base snapshots) against GC for as long as the caller keeps the
+	// scratch buffer. Stale entries are contiguous from len(out) (append
+	// growth zeroes fresh capacity and this loop keeps everything past
+	// the first nil clear), so stopping there makes the cost O(previous
+	// window) instead of O(capacity) — a full-capacity clear costs every
+	// steady-state one-node call the largest window ever collected.
+	tail := out[len(out):cap(out)]
+	for i := range tail {
+		if tail[i] == nil {
+			break
+		}
+		tail[i] = nil
+	}
 	return out, base
 }
 

@@ -317,3 +317,19 @@ func ThroughputPoolBytes(nprocs int) int {
 func ReadFastPathEnabled() bool {
 	return os.Getenv("ONLL_READ_FASTPATH") != "off"
 }
+
+// DeltaSnapshotLeg resolves one sweep iteration's core.Config
+// DeltaSnapshots flag: the ONLL_DELTA_SNAPSHOTS environment variable
+// forces every leg on ("on") or off ("off") — CI's delta-compaction
+// matrix legs use "on" — and anything else falls back to alt, the
+// sweep's own per-iteration alternation, so default runs cover both
+// compaction schemes in the same sweep.
+func DeltaSnapshotLeg(alt bool) bool {
+	switch os.Getenv("ONLL_DELTA_SNAPSHOTS") {
+	case "on":
+		return true
+	case "off":
+		return false
+	}
+	return alt
+}
