@@ -33,6 +33,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/shard"
 )
 
 var (
@@ -1052,6 +1053,134 @@ func etDeltaMeasureAll(totalOps int) (offs, ons []throughputPoint, foot []snapfo
 	return offs, ons, foot, nil
 }
 
+// ---------------------------------------------------------------------
+// et multicore: GOMAXPROCS x shards scaling (PR 8).
+// ---------------------------------------------------------------------
+
+// multicorePoint is one measurement of the scale-out sweep: a YCSB mix
+// driven by mcProcs handles at a pinned GOMAXPROCS over a sharded
+// composition (repro/shard) on one pool. SlotStripes records the
+// RESOLVED per-shard published-view stripe count — 1 marks the
+// single-slot baseline configuration, anything else the striped one.
+type multicorePoint struct {
+	Workload      string  `json:"workload"`
+	Procs         int     `json:"procs"`
+	GoMaxProcs    int     `json:"go_max_procs"`
+	Shards        int     `json:"shards"`
+	SlotStripes   int     `json:"slot_stripes"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	PFencesPerUpd float64 `json:"pfences_per_update"`
+}
+
+// mcProcs is the worker-handle count of every multicore point: it
+// matches the CI runner's 4 vCPUs, so at GOMAXPROCS=4 every handle can
+// genuinely run in parallel.
+const mcProcs = 4
+
+var (
+	mcGomax    = []int{1, 2, 4}
+	mcShardSet = []int{1, 2, 4}
+	mcMixes    = []workload.YCSBWorkload{workload.YCSBC, workload.YCSBA}
+)
+
+// measureYCSBSharded is measureYCSB over the shard composition: the
+// composed handle routes each keyed op to its partition, so the same
+// streams, preload and warm-up drive 1..N shards identically. stripes
+// is passed through to every shard's SlotStripes (1 = the single-slot
+// baseline; 0 = auto-striped).
+func measureYCSBSharded(mix workload.YCSBWorkload, nshards, stripes, totalOps int) (multicorePoint, error) {
+	base := etConfig(mcProcs, true)
+	base.SlotStripes = stripes
+	pool := pmem.New(etPoolSize(mcProcs)*nshards+(1<<22), nil)
+	in, err := shard.Open(pool, objects.OrderedMapSpec{}, shard.Config{Shards: nshards, Base: base})
+	if err != nil {
+		return multicorePoint{}, err
+	}
+	y := workload.NewYCSB(mix)
+	if err := y.Preload(in.Handle(0)); err != nil {
+		return multicorePoint{}, err
+	}
+	per := totalOps / mcProcs
+	streams, updates := y.Streams(mcProcs, per)
+	for pid := 0; pid < mcProcs; pid++ {
+		if err := workload.RunSteps(in.Handle(pid), streams[pid][:min(200, len(streams[pid]))]); err != nil {
+			return multicorePoint{}, err
+		}
+	}
+	pool.ResetStats()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < mcProcs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			if err := workload.RunSteps(in.Handle(pid), streams[pid]); err != nil {
+				panic(err)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	total := per * mcProcs
+	pt := multicorePoint{
+		Workload:    string(mix),
+		Procs:       mcProcs,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Shards:      nshards,
+		SlotStripes: in.Shard(0).FastPathStats().Stripes,
+		OpsPerSec:   float64(total) / el.Seconds(),
+		NsPerOp:     float64(el.Nanoseconds()) / float64(total),
+	}
+	if updates > 0 {
+		pt.PFencesPerUpd = float64(pool.TotalStats().PersistentFences) / float64(updates)
+	} else if pf := pool.TotalStats().PersistentFences; pf > 0 {
+		// The composition must preserve the fence-free read path: a
+		// read-only mix routed across shards still issues ZERO fences.
+		return pt, fmt.Errorf("%s/shards=%d: %d persistent fences on a read-only mix", mix, nshards, pf)
+	}
+	return pt, nil
+}
+
+// etMulticoreMeasureAll runs the scale-out sweep: for each pinned
+// GOMAXPROCS and each mix, the single-shard single-slot BASELINE and
+// the striped shard ladder are measured interleaved within each of
+// etRepeats repetitions (best-of per leg), so every speedup in the
+// series is a same-session, same-minute comparison. GOMAXPROCS is
+// restored afterwards.
+func etMulticoreMeasureAll(totalOps int) (baselines, scaled []multicorePoint, err error) {
+	oldGomax := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldGomax)
+	for _, g := range mcGomax {
+		runtime.GOMAXPROCS(g)
+		for _, mix := range mcMixes {
+			var base multicorePoint
+			best := make([]multicorePoint, len(mcShardSet))
+			for r := 0; r < etRepeats; r++ {
+				b, err := measureYCSBSharded(mix, 1, 1, totalOps)
+				if err != nil {
+					return nil, nil, err
+				}
+				if b.OpsPerSec > base.OpsPerSec {
+					base = b
+				}
+				for i, ns := range mcShardSet {
+					p, err := measureYCSBSharded(mix, ns, 0, totalOps)
+					if err != nil {
+						return nil, nil, err
+					}
+					if p.OpsPerSec > best[i].OpsPerSec {
+						best[i] = p
+					}
+				}
+			}
+			baselines = append(baselines, base)
+			scaled = append(scaled, best...)
+		}
+	}
+	return baselines, scaled, nil
+}
+
 // et: simulator-substrate throughput scaling over 1..64 processes.
 // Every point is measured twice in the same session — read fast path
 // off (the PR 3 configuration) and on — so the speedup column compares
@@ -1070,6 +1199,10 @@ func et() error {
 		return err
 	}
 	deltaOff, deltaOn, snapFoot, err := etDeltaMeasureAll(totalOps)
+	if err != nil {
+		return err
+	}
+	mcBase, mcScaled, err := etMulticoreMeasureAll(totalOps)
 	if err != nil {
 		return err
 	}
@@ -1109,6 +1242,26 @@ func et() error {
 			fmt.Sprintf("%.0f", fp.WordsPerCut), fmt.Sprintf("%.0f", fp.FullWordsPerCut),
 			fmt.Sprintf("%.3f", fp.Ratio))
 	}
+	mcBaseline := func(wl string, gomax int) float64 {
+		for _, b := range mcBase {
+			if b.Workload == wl && b.GoMaxProcs == gomax {
+				return b.OpsPerSec
+			}
+		}
+		return 0
+	}
+	fmt.Println()
+	row("multicore (mix/gmp/shards)", "stripes", "ops/sec", "pf/update", "vs 1-shard 1-slot")
+	for _, pt := range mcScaled {
+		speedup := "n/a"
+		if b := mcBaseline(pt.Workload, pt.GoMaxProcs); b > 0 {
+			speedup = fmt.Sprintf("%.2fx", pt.OpsPerSec/b)
+		}
+		row(fmt.Sprintf("%s/g%d/s%d", pt.Workload, pt.GoMaxProcs, pt.Shards),
+			fmt.Sprint(pt.SlotStripes),
+			fmt.Sprintf("%.0f", pt.OpsPerSec),
+			fmt.Sprintf("%.3f", pt.PFencesPerUpd), speedup)
+	}
 	footprint := footprintTable()
 	fmt.Println()
 	row("log footprint (procs)", "capacity", "two-tier B", "single-tier B", "ratio")
@@ -1128,6 +1281,7 @@ func et() error {
 			PR5Note       string            `json:"pr5_note"`
 			DeltaNote     string            `json:"delta_note"`
 			FootprintNote string            `json:"footprint_note"`
+			MulticoreNote string            `json:"multicore_note"`
 			Baseline      []throughputPoint `json:"baseline_global_mutex_pool"`
 			PR1           []throughputPoint `json:"pr1_sharded_pool"`
 			PR3           []throughputPoint `json:"pr3_read_fastpath_off"`
@@ -1136,8 +1290,10 @@ func et() error {
 			DeltaOn       []throughputPoint `json:"delta_snapshots_on"`
 			SnapFootprint []snapfootPoint   `json:"snapshot_footprint"`
 			Footprint     []footprintPoint  `json:"log_footprint"`
+			MCBaseline    []multicorePoint  `json:"multicore_baseline_single_slot"`
+			Multicore     []multicorePoint  `json:"multicore_scaling"`
 		}{
-			Schema:        "bench_throughput/v6",
+			Schema:        "bench_throughput/v7",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			TotalOps:      totalOps,
@@ -1185,6 +1341,19 @@ func et() error {
 			FootprintNote: "plog.RegionBytes of the two-tier slot layout (inline budget " +
 				"4 ops + shared overflow ring at 1/8 of worst case) vs the retired " +
 				"single-tier layout, at the suite's log geometry; pfences/op unchanged",
+			MulticoreNote: "v7 (multi-core scale-out): GOMAXPROCS {1,2,4} x shards {1,2,4} " +
+				"on ycsb-c/ycsb-a, always 4 worker handles, one shared pool. " +
+				"multicore_baseline_single_slot is the PR 4-7 configuration (one " +
+				"shard, SlotStripes=1) re-measured at every GOMAXPROCS, interleaved " +
+				"with the scaling legs inside each best-of-3 repetition so every " +
+				"speedup is a same-session comparison; multicore_scaling uses " +
+				"auto-resolved stripes (min(GOMAXPROCS, NProcs), slot_stripes " +
+				"records the resolved count). pfences/update stays 1 and ycsb-c " +
+				"stays fence-free through the shard router. The scaling curve is " +
+				"only meaningful when this artifact was generated on a multi-core " +
+				"host (go_max_procs >= 4, i.e. CI's bench-multicore runner); on a " +
+				"1-CPU box all GOMAXPROCS legs collapse to interleaved execution " +
+				"and the curve is flat modulo noise",
 			Baseline:      throughputBaseline,
 			PR1:           throughputPR1,
 			PR3:           pr3,
@@ -1193,6 +1362,8 @@ func et() error {
 			DeltaOn:       deltaOn,
 			SnapFootprint: snapFoot,
 			Footprint:     footprint,
+			MCBaseline:    mcBase,
+			Multicore:     mcScaled,
 		}
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {

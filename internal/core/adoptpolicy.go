@@ -114,8 +114,9 @@ const costAlphaShift = 3
 const costSampleMinNodes = 8
 
 // slotProbeEvery bounds the demand damper on stamp-time slot advances
-// (pubView.probe): after served reads dry up, at most one advance per
-// this many skipped stamps keeps probing for returning demand.
+// (Handle.slotProbe): after served reads dry up, at most one advance
+// per this many skipped stamps — per handle — keeps probing for
+// returning demand.
 const slotProbeEvery = 32
 
 // adoptCosts is the per-instance cost model. The counters are updated

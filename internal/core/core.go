@@ -92,6 +92,16 @@ var (
 	// after the full escalation ladder (compaction, view catch-up,
 	// ring growth).
 	ErrLogPressure = errors.New("core: log pressure not relieved by compaction or ring growth")
+	// ErrRootOverlap: this instance's root-table range [RootBase,
+	// RootBase+rootLogBase+NProcs) overlaps a range another live
+	// instance already claimed on the same pool. Before the check, the
+	// second instance silently clobbered the first one's root slots
+	// (magic, NProcs, log pointers) — corruption that only surfaced at
+	// the next recovery. Re-claiming the IDENTICAL range is allowed:
+	// that is the same logical instance being recovered or recreated on
+	// the pool, not a second one (the registry is volatile, so a crash
+	// clears it the way a crash kills the processes holding handles).
+	ErrRootOverlap = errors.New("core: RootBase range overlaps another instance on this pool")
 )
 
 // MaxProcs bounds the number of simulated processes per instance
@@ -99,6 +109,14 @@ var (
 // experiments can drive the full pid space; the root table reserves one
 // log-pointer slot per possible pid.
 const MaxProcs = sched.MaxPids
+
+// RootSpan returns the number of root-table slots an instance with
+// nprocs processes occupies starting at Config.RootBase: the fixed
+// header slots (magic, process count) plus one log pointer per
+// process. Multi-instance layouts (several objects, or the shard
+// package's partitions) place instance i at RootBase = i*RootSpan(n)
+// to tile the table without overlap.
+func RootSpan(nprocs int) int { return rootLogBase + nprocs }
 
 // Config parameterizes New and Recover.
 type Config struct {
@@ -165,6 +183,15 @@ type Config struct {
 	// pre-adaptive fixed threshold is AdoptPolicy{FixedMinLag: 32}.
 	// Ignored unless ReadFastPath is set.
 	AdoptPolicy AdoptPolicy
+	// SlotStripes sets how many independent published-view slot stripes
+	// the read fast path carries (fastpath.go): publishers and stampers
+	// go to the stripe their pid hashes to, adopters and served reads
+	// scan all stripes for the freshest valid one, so concurrent
+	// handles stop serializing on a single slot CAS line. Zero
+	// auto-sizes to min(GOMAXPROCS, NProcs), capped at 8; 1 reproduces
+	// the single-slot layout (deterministic slot tests pin it). Ignored
+	// unless ReadFastPath is set.
+	SlotStripes int
 	// CompactEvery, if positive, makes each handle write a snapshot
 	// record and truncate its log every CompactEvery updates, and cut
 	// the trace behind the snapshot (Section 8 memory reclamation).
@@ -227,6 +254,9 @@ func (c *Config) fill() error {
 	if c.AdoptPolicy.PublishLag < 0 {
 		return fmt.Errorf("core: AdoptPolicy.PublishLag %d negative", c.AdoptPolicy.PublishLag)
 	}
+	if c.SlotStripes < 0 || c.SlotStripes > MaxProcs {
+		return fmt.Errorf("core: SlotStripes %d out of range [0,%d]", c.SlotStripes, MaxProcs)
+	}
 	if c.RootBase < 0 || c.RootBase+rootLogBase+c.NProcs > pmem.RootSlots {
 		return fmt.Errorf("core: RootBase %d leaves no room for %d log roots (table has %d slots)",
 			c.RootBase, c.NProcs, pmem.RootSlots)
@@ -260,7 +290,11 @@ type Instance struct {
 	tr    trace.Interface
 	logs  []*plog.Log
 	hands []*Handle
-	pub   *pubView // shared latest-view slot (ReadFastPath only, else nil)
+	// pubs holds the striped shared latest-view slots (ReadFastPath
+	// only, else nil). Value slice, indexed by address — a pubView must
+	// never be copied after construction (it embeds atomics and the
+	// seqlock protocol keys on the address).
+	pubs []pubView
 	// costs is the adaptive adoption cost model (nil when the fast
 	// path is off or AdoptPolicy pins a fixed threshold).
 	costs *adoptCosts
@@ -297,6 +331,9 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
+	if err := claimRoots(pool, &cfg); err != nil {
+		return nil, err
+	}
 	in.initFastPath()
 	if cfg.WaitFree {
 		in.tr = trace.NewWaitFree(cfg.Gate, cfg.NProcs)
@@ -317,18 +354,41 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 	return in, nil
 }
 
+// claimRoots registers the instance's root-table range with the pool,
+// catching overlapping Config.RootBase partitions at create/recover
+// time instead of letting two instances silently clobber each other's
+// root slots. Identical re-claims pass (recovery/recreation of the
+// same instance); any partial overlap is an ErrRootOverlap.
+func claimRoots(pool *pmem.Pool, cfg *Config) error {
+	lo := cfg.RootBase
+	hi := lo + rootLogBase + cfg.NProcs
+	if conflict, ok := pool.ClaimRootRange(lo, hi); !ok {
+		return fmt.Errorf("%w: [%d,%d) vs claimed [%d,%d)",
+			ErrRootOverlap, lo, hi, conflict[0], conflict[1])
+	}
+	return nil
+}
+
 // initFastPath wires the read fast path's shared machinery: the
-// latest-view slot (always reset — a slot must never be born held; see
-// pubView.reset) and the cost model when the adaptive adoption policy
-// is selected.
+// latest-view slot stripes (always reset — a slot must never be born
+// held; see pubView.reset) and the cost model when the adaptive
+// adoption policy is selected.
 func (in *Instance) initFastPath() {
 	if !in.cfg.ReadFastPath {
 		return
 	}
-	in.pub = &pubView{}
-	in.pub.reset()
+	in.pubs = make([]pubView, resolveSlotStripes(&in.cfg))
+	in.resetSlots()
 	if in.cfg.AdoptPolicy.FixedMinLag == 0 {
 		in.costs = &adoptCosts{}
+	}
+}
+
+// resetSlots returns every slot stripe to its initial free state
+// (construction, recovery, recreation).
+func (in *Instance) resetSlots() {
+	for i := range in.pubs {
+		in.pubs[i].reset()
 	}
 }
 
@@ -410,6 +470,15 @@ type Handle struct {
 	seenEpoch uint64
 	adopt     spec.State
 	adoptions atomic.Uint64
+
+	// Stamp-time demand damper state (tryStampSlot), PER HANDLE: the
+	// stripe serve count this handle last advanced at, and its skipped
+	// stamps since. With the pre-PR 8 per-instance counters one hot
+	// stamper burned the whole probe budget and marked the serves as
+	// seen, starving every other handle's probe advance. A handle only
+	// ever stamps its own stripe, so one scalar pair suffices.
+	slotServesSeen uint64
+	slotProbe      uint32
 
 	// Scratch buffers reused across operations (a Handle runs one
 	// operation at a time, enforced by busy), keeping steady-state
@@ -551,7 +620,7 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	// updater just paid the replay to its own node anyway, and under
 	// frontier-chasing churn this — not the rare long read catch-up —
 	// is what keeps the published view adoptably fresh.
-	if in.pub != nil && h.view != nil && !in.cfg.AdoptPolicy.DisableUpdatePublish {
+	if in.pubs != nil && h.view != nil && !in.cfg.AdoptPolicy.DisableUpdatePublish {
 		h.publishFromUpdate()
 	}
 
@@ -702,7 +771,7 @@ func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 // published at the latest available node, and the strict bound would
 // turn the fast path off for exactly the reads it should relieve.
 func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
-	if h.in.pub != nil {
+	if h.in.pubs != nil {
 		if lag := node.DistanceFrom(h.viewIdx); lag > 0 {
 			if thr := h.adoptThreshold(); lag > thr {
 				maxIdx := node.Idx()
@@ -738,7 +807,7 @@ func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
 	if sample {
 		h.in.costs.observeWalk(len(nodes), time.Since(walkStart))
 	}
-	if h.in.pub != nil && len(nodes) > publishMinLag {
+	if h.in.pubs != nil && len(nodes) > publishMinLag {
 		h.tryPublish()
 	}
 	return ret
@@ -939,7 +1008,7 @@ func (h *Handle) compact(node *trace.Node) error {
 	base := trace.NewBase(s, snap, seqs)
 	node.SetNextBase(base)
 	h.reclaim(old)
-	if h.in.pub != nil {
+	if h.in.pubs != nil {
 		// The compacting handle is exactly caught up at s; publishing
 		// here gives laggards (whose walks now stop at the new base
 		// anyway) a state to adopt without deserializing the snapshot.
@@ -1102,6 +1171,9 @@ func Recover(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, *Report, err
 	}
 
 	in := &Instance{cfg: cfg, sp: sp, pool: pool, gate: cfg.Gate}
+	if err := claimRoots(pool, &cfg); err != nil {
+		return nil, nil, err
+	}
 	in.initFastPath()
 	var (
 		records  []plog.Record

@@ -45,8 +45,12 @@ func TestAdoptionAcrossCompactionCut(t *testing.T) {
 		NProcs: 3, ReadFastPath: true, CompactEvery: cut,
 		LogCapacity: 1 << 10, Gate: ctl,
 		// A fixed threshold keeps the adoption decision — and with it
-		// the gate-point schedule — independent of timing samples.
+		// the gate-point schedule — independent of timing samples; a
+		// single stripe makes the cut's republish and p2's adoption
+		// contend on the SAME slot, which is the interleaving under
+		// audit.
 		AdoptPolicy: AdoptPolicy{FixedMinLag: 16},
+		SlotStripes: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -77,8 +81,8 @@ func TestAdoptionAcrossCompactionCut(t *testing.T) {
 	if got1 != 40 {
 		t.Fatalf("p1 read %d, want 40", got1)
 	}
-	if in.pub.idx != 40 {
-		t.Fatalf("slot published at %d, want 40", in.pub.idx)
+	if in.pubs[0].idx != 40 {
+		t.Fatalf("slot published at %d, want 40", in.pubs[0].idx)
 	}
 
 	// 2: one more update invalidates the slot's epoch stamp.
@@ -104,8 +108,8 @@ func TestAdoptionAcrossCompactionCut(t *testing.T) {
 	if base == nil || base.Idx() != cut {
 		t.Fatalf("no compaction base at %d reachable from the tail", cut)
 	}
-	if in.pub.idx != 40 {
-		t.Fatalf("slot moved to %d during the cut despite being held; want stale 40", in.pub.idx)
+	if in.pubs[0].idx != 40 {
+		t.Fatalf("slot moved to %d during the cut despite being held; want stale 40", in.pubs[0].idx)
 	}
 
 	// 5: p2 completes the stale adoption and the remainder walk.

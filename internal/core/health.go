@@ -266,9 +266,7 @@ func (in *Instance) Recreate() error {
 	for pid, s := range sb.seqs {
 		seqs[pid] = s
 	}
-	if in.pub != nil {
-		in.pub.reset()
-	}
+	in.resetSlots()
 	in.makeHandles(seqs)
 	in.salvBase = nil
 	in.health.Store(&Health{Mode: ModeHealthy})

@@ -265,6 +265,13 @@ type Pool struct {
 	evict      EvictionPolicy
 	evictCount atomic.Uint64
 	evictions  atomic.Uint64
+
+	// Root-table claim registry (ClaimRootRange): the half-open slot
+	// ranges live constructions have claimed, guarding against two
+	// instances silently sharing root slots. Volatile by design — a
+	// crash clears it the way it kills the claiming processes.
+	rootMu     sync.Mutex
+	rootClaims [][2]int
 }
 
 // Reserved root area: the first rootCount words of the pool are a root
@@ -280,6 +287,31 @@ const (
 // RootSlots is the number of root-table slots. Constructions that
 // share one pool partition this space (core.Config.RootBase).
 const RootSlots = rootCount
+
+// ClaimRootRange registers the half-open root-slot range [lo, hi) for
+// a construction being created or recovered on this pool. A range
+// identical to an existing claim is accepted silently — that is the
+// same logical construction coming back (recovery after an in-process
+// crash, recreation after quarantine), not a second one. A PARTIAL
+// overlap returns the conflicting claim and ok=false: two distinct
+// constructions were about to clobber each other's root slots. The
+// registry is volatile; it protects against configuration bugs within
+// one process lifetime, not against a concurrent process on the same
+// image (the simulated NVM has no cross-process story to violate).
+func (p *Pool) ClaimRootRange(lo, hi int) (conflict [2]int, ok bool) {
+	p.rootMu.Lock()
+	defer p.rootMu.Unlock()
+	for _, c := range p.rootClaims {
+		if lo == c[0] && hi == c[1] {
+			return [2]int{}, true // identical re-claim: same construction
+		}
+		if lo < c[1] && c[0] < hi {
+			return c, false
+		}
+	}
+	p.rootClaims = append(p.rootClaims, [2]int{lo, hi})
+	return [2]int{}, true
+}
 
 // RootSystemPID is the process id used for pool-management operations
 // (root updates during setup); its fence costs are excluded from

@@ -92,7 +92,18 @@ var (
 	// ErrLogPressure: an append failed even after the full escalation
 	// ladder (compact, catch-up, ring growth).
 	ErrLogPressure = core.ErrLogPressure
+	// ErrRootOverlap: Open/Recover was asked to place an instance on a
+	// root-table range another live instance on the same pool already
+	// claims (overlapping Config.RootBase partitions). Tile instances
+	// with RootSpan to avoid it.
+	ErrRootOverlap = core.ErrRootOverlap
 )
+
+// RootSpan returns the number of root-table slots an instance with
+// nprocs processes occupies at Config.RootBase; place a second
+// instance at RootBase + RootSpan(nprocs) to share the pool without
+// overlap.
+func RootSpan(nprocs int) int { return core.RootSpan(nprocs) }
 
 // PlanFaults builds a seeded deterministic fault plan of n faults over
 // cache lines [minLine, maxLine) — combine with Pool.AllocatedLines and
