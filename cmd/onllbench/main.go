@@ -1270,6 +1270,17 @@ func et() error {
 			fmt.Sprintf("%.2fx", fp.Ratio))
 	}
 	if *jsonFlag {
+		// Carry the onllserve latency series (maintained by `onllserve
+		// -bench -json`) across regenerations: this harness rewrites
+		// the whole document, so the keys it does not own must ride
+		// along verbatim or a throughput rerun would clobber them.
+		var prevLatency, prevLatencyNote json.RawMessage
+		if prev, err := os.ReadFile(jsonPath); err == nil {
+			var doc map[string]json.RawMessage
+			if json.Unmarshal(prev, &doc) == nil {
+				prevLatency, prevLatencyNote = doc["latency"], doc["latency_note"]
+			}
+		}
 		artifact := struct {
 			Schema        string            `json:"schema"`
 			GeneratedUnix int64             `json:"generated_unix"`
@@ -1292,8 +1303,10 @@ func et() error {
 			Footprint     []footprintPoint  `json:"log_footprint"`
 			MCBaseline    []multicorePoint  `json:"multicore_baseline_single_slot"`
 			Multicore     []multicorePoint  `json:"multicore_scaling"`
+			Latency       json.RawMessage   `json:"latency,omitempty"`
+			LatencyNote   json.RawMessage   `json:"latency_note,omitempty"`
 		}{
-			Schema:        "bench_throughput/v7",
+			Schema:        "bench_throughput/v8",
 			GeneratedUnix: time.Now().Unix(),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			TotalOps:      totalOps,
@@ -1364,6 +1377,8 @@ func et() error {
 			Footprint:     footprint,
 			MCBaseline:    mcBase,
 			Multicore:     mcScaled,
+			Latency:       prevLatency,
+			LatencyNote:   prevLatencyNote,
 		}
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {

@@ -119,6 +119,18 @@ const costSampleMinNodes = 8
 // returning demand.
 const slotProbeEvery = 32
 
+// Copy-timing sample gate: the first copyWarmupSamples slot copies are
+// all timed (the EWMA converges in well under that — alpha 1/8 closes
+// 96% of any gap in 24 samples), after which only one copy in
+// copySampleEvery pays the two clock reads. Converged estimates drift
+// slowly (state size and memcpy rate change over thousands of ops, not
+// per copy), so sparse samples track them fine, and the other
+// copySampleEvery-1 copies run clock-free.
+const (
+	copyWarmupSamples = 64
+	copySampleEvery   = 16
+)
+
 // adoptCosts is the per-instance cost model. The counters are updated
 // racily (load/EWMA/store) by every handle; a lost update just drops a
 // sample, which the EWMA absorbs — no CAS loop on the read path.
@@ -126,6 +138,23 @@ type adoptCosts struct {
 	nodeNsQ8  atomic.Uint64 // EWMA: replaying one trace node, Q8 ns
 	wordNsQ8  atomic.Uint64 // EWMA: copying one state word, Q8 ns
 	copyWords atomic.Uint64 // last observed copy size (Sizer-less fallback)
+	// copyTick counts slot copies across all handles; copySamples counts
+	// the ones that were actually timed (diagnostics + the sampling
+	// regression test).
+	copyTick    atomic.Uint64
+	copySamples atomic.Uint64
+}
+
+// sampleCopy reports whether the next slot copy should be timed: every
+// copy during warmup, then one in copySampleEvery. The tick is a single
+// atomic add — the gated-off path never touches the clock.
+func (c *adoptCosts) sampleCopy() bool {
+	t := c.copyTick.Add(1)
+	if t <= copyWarmupSamples || t%copySampleEvery == 0 {
+		c.copySamples.Add(1)
+		return true
+	}
+	return false
 }
 
 // ewma folds sample into a, seeding on the first sample and nudging by

@@ -125,3 +125,93 @@ func TestAdoptPolicyValidation(t *testing.T) {
 		t.Fatal("adaptive instance has no cost model")
 	}
 }
+
+func TestCopySampleGate(t *testing.T) {
+	// Warmup: every copy is timed. Steady state: exactly one in
+	// copySampleEvery pays the clock reads; the rest run gated off.
+	var c adoptCosts
+	for i := 1; i <= copyWarmupSamples; i++ {
+		if !c.sampleCopy() {
+			t.Fatalf("warmup copy %d not timed", i)
+		}
+	}
+	const after = 1600
+	timed := 0
+	for i := 0; i < after; i++ {
+		if c.sampleCopy() {
+			timed++
+		}
+	}
+	if want := after / copySampleEvery; timed != want {
+		t.Fatalf("%d of %d post-warmup copies timed, want %d (1 in %d)",
+			timed, after, want, copySampleEvery)
+	}
+	if got := c.copySamples.Load(); got != uint64(copyWarmupSamples+after/copySampleEvery) {
+		t.Fatalf("copySamples = %d, want %d", got, copyWarmupSamples+after/copySampleEvery)
+	}
+}
+
+func TestEWMAConvergesUnderSampling(t *testing.T) {
+	// The sample gate must not break convergence: feeding the copy-cost
+	// EWMA only on gated-in ticks still reaches the true per-word cost
+	// within the warmup window, and tracks a drift afterwards.
+	var c adoptCosts
+	const words = 512
+	cost := func() time.Duration { return time.Duration(words) * 2 * time.Nanosecond } // 2 ns/word
+	ticks := 0
+	for c.copySamples.Load() < copyWarmupSamples {
+		ticks++
+		if c.sampleCopy() {
+			c.observeCopy(words, cost())
+		}
+	}
+	if ticks != copyWarmupSamples {
+		t.Fatalf("warmup consumed %d ticks, want %d (all timed)", ticks, copyWarmupSamples)
+	}
+	if got, want := c.wordNsQ8.Load(), uint64(2<<8); got != want {
+		t.Fatalf("converged wordNsQ8 = %d, want %d (2 ns/word)", got, want)
+	}
+	// Drift the true cost to 4 ns/word; sparse samples must still pull
+	// the estimate there (alpha 1/8 closes 96% of the gap in 24
+	// samples — 24*copySampleEvery ticks under the gate).
+	cost = func() time.Duration { return time.Duration(words) * 4 * time.Nanosecond }
+	for i := 0; i < 30*copySampleEvery; i++ {
+		if c.sampleCopy() {
+			c.observeCopy(words, cost())
+		}
+	}
+	got := c.wordNsQ8.Load()
+	if got < (4<<8)*9/10 || got > (4<<8)*11/10 {
+		t.Fatalf("post-drift wordNsQ8 = %d, want within 10%% of %d", got, 4<<8)
+	}
+}
+
+func TestFastPathCopiesAreSampleGated(t *testing.T) {
+	// Integration: a real instance under fast-path churn must show more
+	// slot copies than timed samples — i.e. the steady-state copy path
+	// really runs clock-free — while the cost model still has data.
+	pool := pmem.New(1<<24, nil)
+	in, err := New(pool, objects.CounterSpec{}, Config{
+		NProcs: 2, ReadFastPath: true, SlotStripes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h1 := in.Handle(0), in.Handle(1)
+	for i := 0; i < 4000; i++ {
+		if _, _, err := h0.Update(objects.CounterInc); err != nil {
+			t.Fatal(err)
+		}
+		h1.Read(objects.CounterGet) // laggard: adopts/validates the slot
+	}
+	tick, samples := in.costs.copyTick.Load(), in.costs.copySamples.Load()
+	if tick <= copyWarmupSamples {
+		t.Skipf("only %d slot copies happened; gate never left warmup", tick)
+	}
+	if samples >= tick {
+		t.Fatalf("all %d copies timed (samples=%d); gate not engaged", tick, samples)
+	}
+	if in.costs.wordNsQ8.Load() == 0 {
+		t.Fatal("cost model has no copy samples despite gated sampling")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/pmem"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+func TestBatchAmortizesFences(t *testing.T) {
+	// The point of the batch entry point: one persistent fence per
+	// Flush, not per op.
+	pool, in := newCounter(t, Config{NProcs: 1, LogMaxOps: 64})
+	b := in.Handle(0).NewBatch()
+	const flushes, per = 8, 16
+	want := uint64(0)
+	for f := 0; f < flushes; f++ {
+		for i := 0; i < per; i++ {
+			want++
+			ret, _, err := b.Stage(objects.CounterInc)
+			if err != nil {
+				t.Fatalf("Stage: %v", err)
+			}
+			if ret != want {
+				t.Fatalf("stage %d returned %d, want %d", want, ret, want)
+			}
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+	if got := in.Handle(0).Read(objects.CounterGet); got != want {
+		t.Fatalf("read %d, want %d", got, want)
+	}
+	pf := pool.TotalStats().PersistentFences
+	if pf != flushes {
+		t.Fatalf("%d persistent fences for %d flushes, want exactly one per flush", pf, flushes)
+	}
+}
+
+func TestBatchFullAndErr(t *testing.T) {
+	_, in := newCounter(t, Config{NProcs: 1, LogMaxOps: 4})
+	b := in.Handle(0).NewBatch()
+	for i := 0; i < 4; i++ {
+		if _, _, err := b.Stage(objects.CounterInc); err != nil {
+			t.Fatalf("Stage %d: %v", i, err)
+		}
+	}
+	if _, _, err := b.Stage(objects.CounterInc); !errors.Is(err, ErrBatchFull) {
+		t.Fatalf("overfull Stage: err = %v, want ErrBatchFull", err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, _, err := b.Stage(objects.CounterInc); err != nil {
+		t.Fatalf("Stage after flush: %v", err)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", b.Pending())
+	}
+}
+
+func TestBatchCrashSplitsAtFlush(t *testing.T) {
+	// Flushed batch survives the crash; a staged-but-unflushed batch is
+	// lost, and the loss is detectable per op id (WasLinearized false).
+	pool, in := newCounter(t, Config{NProcs: 1, LogMaxOps: 32})
+	b := in.Handle(0).NewBatch()
+	var durable, lost []uint64
+	for i := 0; i < 4; i++ {
+		_, id, err := b.Stage(objects.CounterInc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		durable = append(durable, id)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, id, err := b.Stage(objects.CounterInc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lost = append(lost, id)
+	}
+	// Before the crash all 7 are linearized and reader-visible.
+	if v := in.Handle(0).Read(objects.CounterGet); v != 7 {
+		t.Fatalf("pre-crash read %d, want 7", v)
+	}
+	pool.Crash(pmem.DropAll)
+	rin, rep, err := Recover(pool, objects.CounterSpec{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastIdx != 4 {
+		t.Fatalf("recovered %d ops, want the 4 flushed", rep.LastIdx)
+	}
+	for _, id := range durable {
+		if _, ok := rep.WasLinearized(id); !ok {
+			t.Fatalf("flushed op %#x not recovered", id)
+		}
+	}
+	for _, id := range lost {
+		if _, ok := rep.WasLinearized(id); ok {
+			t.Fatalf("unflushed op %#x reported linearized after crash", id)
+		}
+	}
+	if v := rin.Handle(0).Read(objects.CounterGet); v != 4 {
+		t.Fatalf("post-recovery read %d, want 4", v)
+	}
+}
+
+func TestBatchFlushHelpsDelayedProcess(t *testing.T) {
+	// A flush's record covers the helping tail exactly like Update's
+	// fuzzy window: p1 orders an op and stalls before persisting; p0's
+	// batch flush must persist it under the batch's single fence.
+	ctl := sched.NewController()
+	pool := pmem.New(testPoolSize, ctl)
+	in, err := New(pool, objects.CounterSpec{}, Config{NProcs: 2, LogMaxOps: 16, Gate: ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Spawn(1, func() { in.Handle(1).Update(objects.CounterInc) })
+	if _, ok := ctl.RunUntil(1, sched.AtPoint(PointOrdered)); !ok {
+		t.Fatal("p1 never ordered")
+	}
+	done0 := ctl.Spawn(0, func() {
+		b := in.Handle(0).NewBatch()
+		for i := 0; i < 3; i++ {
+			if _, _, serr := b.Stage(objects.CounterInc); serr != nil {
+				t.Errorf("Stage: %v", serr)
+			}
+		}
+		if ferr := b.Flush(); ferr != nil {
+			t.Errorf("Flush: %v", ferr)
+		}
+	})
+	ctl.RunToCompletion(0)
+	<-done0
+	ctl.KillAll()
+	pool.Crash(pmem.DropAll)
+	_, rep, err := Recover(pool, objects.CounterSpec{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastIdx != 4 {
+		t.Fatalf("recovered %d ops, want 4 (p1's stalled op + 3 batched)", rep.LastIdx)
+	}
+	if _, ok := rep.WasLinearized(spec.MakeID(1, 1)); !ok {
+		t.Fatal("p1's helped op not recovered by the batch flush")
+	}
+}
+
+func TestBatchWithCompaction(t *testing.T) {
+	// Batches drive the compaction cadence by ops flushed, and recovery
+	// from a snapshot base reconstructs the batched history.
+	pool, in := newCounter(t, Config{NProcs: 1, LogMaxOps: 16, CompactEvery: 8})
+	b := in.Handle(0).NewBatch()
+	const total = 40
+	for i := 0; i < total/4; i++ {
+		for j := 0; j < 4; j++ {
+			if _, _, err := b.Stage(objects.CounterInc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := in.Handle(0).Read(objects.CounterGet); v != total {
+		t.Fatalf("read %d, want %d", v, total)
+	}
+	pool.Crash(pmem.DropAll)
+	rin, rep, err := Recover(pool, objects.CounterSpec{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LastIdx != total {
+		t.Fatalf("recovered LastIdx %d, want %d", rep.LastIdx, total)
+	}
+	if v := rin.Handle(0).Read(objects.CounterGet); v != total {
+		t.Fatalf("post-recovery read %d, want %d", v, total)
+	}
+}

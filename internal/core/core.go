@@ -141,6 +141,17 @@ type Config struct {
 	// that stall processes deeply and cannot enable local views should
 	// keep the logs single-tier.
 	LogInlineOps int
+	// LogMaxOps raises the per-record op bound of each per-process log
+	// above the default (NProcs, the deepest fuzzy window a single
+	// update can owe). Batched entry points (Handle.NewBatch) persist
+	// many staged operations plus the helping tail under one record and
+	// one fence, so a server sizing its batcher must leave room:
+	// MaxBatch <= LogMaxOps - NProcs. Zero or values below NProcs
+	// select NProcs. Raising it does not widen the inline slots — wide
+	// records spill their tail to the overflow ring — but it does grow
+	// the ring's sizing floor, so PoolBytes must be computed with the
+	// same value.
+	LogMaxOps int
 	// Gate interposes deterministic scheduling / crash injection; nil
 	// means free-running.
 	Gate sched.Gate
@@ -248,6 +259,12 @@ func (c *Config) fill() error {
 	if c.LogInlineOps < 0 {
 		return fmt.Errorf("core: LogInlineOps %d negative", c.LogInlineOps)
 	}
+	if c.LogMaxOps < 0 {
+		return fmt.Errorf("core: LogMaxOps %d negative", c.LogMaxOps)
+	}
+	if c.LogMaxOps < c.NProcs {
+		c.LogMaxOps = c.NProcs
+	}
 	if c.AdoptPolicy.FixedMinLag < 0 {
 		return fmt.Errorf("core: AdoptPolicy.FixedMinLag %d negative", c.AdoptPolicy.FixedMinLag)
 	}
@@ -341,7 +358,7 @@ func New(pool *pmem.Pool, sp spec.Spec, cfg Config) (*Instance, error) {
 		in.tr = trace.NewLockFree(cfg.Gate)
 	}
 	for pid := 0; pid < cfg.NProcs; pid++ {
-		l, err := plog.CreateInline(pool, pid, cfg.LogCapacity, cfg.NProcs, cfg.LogInlineOps)
+		l, err := plog.CreateInline(pool, pid, cfg.LogCapacity, cfg.LogMaxOps, cfg.LogInlineOps)
 		if err != nil {
 			return nil, fmt.Errorf("core: creating log for p%d: %w", pid, err)
 		}

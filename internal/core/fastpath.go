@@ -273,28 +273,24 @@ func (h *Handle) tryPublish() {
 	p.release(v)
 }
 
-// copyClock starts a timing sample only when the cost model is live
-// (adaptive policy): the fixed policy must not pay two clock reads per
-// slot copy.
-func copyClock(c *adoptCosts) time.Time {
-	if c == nil {
-		return time.Time{}
-	}
-	return time.Now()
-}
-
 // copyPriced is the slot-copy protocol step shared by every slot-side
 // state copy (publish, adopt, serve-adopt, stamp): announce
 // PointSlotCopy — the caller holds the slot, so deterministic
 // schedulers can preempt or crash-inject a holder here — then copy src
-// into dst, feeding the cost model when it is live.
+// into dst, feeding the cost model when it is live. The timed region is
+// sample-gated (adoptCosts.sampleCopy): once the EWMA has converged,
+// only one copy in copySampleEvery pays the two clock reads, and the
+// gated-off path — like the fixed-policy path — never touches the
+// clock at all.
 func (h *Handle) copyPriced(dst, src spec.State) {
 	h.in.gate.Step(h.pid, PointSlotCopy)
-	start := copyClock(h.in.costs)
-	spec.Copy(dst, src)
-	if h.in.costs != nil {
-		h.in.costs.observeCopy(spec.SizeHint(dst), time.Since(start))
+	if c := h.in.costs; c != nil && c.sampleCopy() {
+		start := time.Now()
+		spec.Copy(dst, src)
+		c.observeCopy(spec.SizeHint(dst), time.Since(start))
+		return
 	}
+	spec.Copy(dst, src)
 }
 
 // installView copies h's whole view into the slot payload — state

@@ -66,6 +66,7 @@ package plog
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pmem"
 	"repro/internal/spec"
@@ -162,8 +163,10 @@ type Log struct {
 	headSeq uint64
 
 	// spills counts Appends refused with ErrOvfFull (volatile; feeds
-	// the adaptive ring-growth trigger).
-	spills int
+	// the adaptive ring-growth trigger). Atomic: the owning process
+	// bumps it on its append path while stats pollers (Instance.Pressure
+	// serving a server's metrics endpoint) read it from other goroutines.
+	spills atomic.Int64
 
 	// Snapshot regions (ping-pong, so the previous snapshot stays intact
 	// while the next one is written).
@@ -477,7 +480,7 @@ func (l *Log) RingWords() int { return l.ovfWords }
 // Spills returns how many Appends have failed with ErrOvfFull over the
 // log's lifetime — the observed spill rate adaptive ring sizing grows
 // on.
-func (l *Log) Spills() int { return l.spills }
+func (l *Log) Spills() int { return int(l.spills.Load()) }
 
 // Len returns the number of live (non-truncated) records.
 func (l *Log) Len() int { return int(l.nextSeq - 1 - l.headSeq) }
@@ -581,7 +584,7 @@ func (l *Log) Append(ops []spec.Op, execIdx uint64) (uint64, error) {
 	l.ovfBuf = tail
 	off, ok := l.claimOvf(len(tail))
 	if !ok {
-		l.spills++
+		l.spills.Add(1)
 		return 0, ErrOvfFull
 	}
 	addr := l.ovfBase + pmem.Addr(off*pmem.WordSize)

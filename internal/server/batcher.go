@@ -1,0 +1,235 @@
+// Package server is the batched network front end over one ONLL
+// instance (DESIGN.md §3.10): it maps client connections onto the
+// construction's simulated processes and amortizes the paper's
+// one-fence-per-update cost across whole batches of client requests —
+// one log append and ONE persistent fence cover everything staged
+// since the previous flush, so measured persists-per-request drops
+// below 1 as soon as batches exceed one op.
+//
+// The price is an explicit durability window, surfaced as two ack
+// modes. Ack-on-linearize responds the moment the op is ordered and
+// visible (readers already see it); a crash before the next flush
+// loses the acked suffix, and the paper's detectability machinery is
+// what makes that honest — every response carries the op id, and
+// Report.WasLinearized(id) after recovery says exactly which acked ops
+// survived. Ack-on-persist responds only after the flush fence, which
+// restores the paper's per-op guarantee at batch-flush latency.
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// ErrServerClosed is returned for requests submitted after shutdown
+// began.
+var ErrServerClosed = errors.New("server: closed")
+
+// BatcherConfig sets the flush triggers.
+type BatcherConfig struct {
+	// MaxBatch flushes when this many ops are staged. It must leave
+	// headroom under the instance's Config.LogMaxOps for the helping
+	// tail (NewBatch's limit); Batcher clamps it there.
+	MaxBatch int
+	// MaxWait flushes a non-empty batch this long after its first op
+	// staged, bounding the latency a lone request pays for batching.
+	MaxWait time.Duration
+}
+
+func (c *BatcherConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 200 * time.Microsecond
+	}
+}
+
+// Batcher owns the instance's single updating handle (the batch entry
+// point's single-updater regime) and runs the stage-on-arrival loop:
+// every request is ordered + linearized the moment it is dequeued —
+// ack-on-linearize responses leave immediately — and the flush fence
+// runs when the batch fills or MaxWait expires, releasing the
+// ack-on-persist responses.
+type Batcher struct {
+	batch *core.Batch
+	cfg   BatcherConfig
+	in    chan *Request
+
+	mu     sync.Mutex // guards closed vs Submit
+	closed bool
+
+	pending []*Request // staged, awaiting the covering fence
+	ring    *timingRing
+
+	updates atomic.Uint64
+	flushes atomic.Uint64
+	batched atomic.Uint64 // sum of flush batch sizes (avg = batched/flushes)
+	killed  atomic.Bool   // a crash gate killed the loop (tests)
+
+	stopped chan struct{}
+}
+
+// NewBatcher wraps the handle (which must be the instance's only
+// updater) in a batcher. Call Run in a goroutine, Submit from any,
+// Close to drain.
+func NewBatcher(h *core.Handle, ring *timingRing, cfg BatcherConfig) *Batcher {
+	cfg.fill()
+	b := h.NewBatch()
+	if ring == nil {
+		ring = newTimingRing(0)
+	}
+	return &Batcher{
+		batch:   b,
+		cfg:     cfg,
+		in:      make(chan *Request, 4*cfg.MaxBatch),
+		ring:    ring,
+		stopped: make(chan struct{}),
+	}
+}
+
+// Submit queues the request; its done channel receives it back at the
+// ack point. Returns ErrServerClosed after Close.
+func (ba *Batcher) Submit(r *Request) error {
+	r.EnqueueNs = time.Now().UnixNano()
+	ba.mu.Lock()
+	if ba.closed {
+		ba.mu.Unlock()
+		return ErrServerClosed
+	}
+	ba.in <- r
+	ba.mu.Unlock()
+	return nil
+}
+
+// Close drains: no further Submits are accepted, everything queued is
+// staged, the final flush fences it, and all responses are delivered
+// before Close returns.
+func (ba *Batcher) Close() {
+	ba.mu.Lock()
+	if !ba.closed {
+		ba.closed = true
+		close(ba.in)
+	}
+	ba.mu.Unlock()
+	<-ba.stopped
+}
+
+// Killed reports whether a crash-injection gate terminated the loop
+// (the simulated machine died; undelivered responses are the lost
+// suffix).
+func (ba *Batcher) Killed() bool { return ba.killed.Load() }
+
+// Run is the batcher loop. It exits when Close drains the queue — or,
+// under a crash-injection gate, when a kill fires inside a stage or
+// flush, in which case the loop dies exactly like a process in the
+// crash harness: responses not yet delivered never will be.
+func (ba *Batcher) Run() {
+	defer close(ba.stopped)
+	defer func() {
+		if r := recover(); r != nil {
+			if sched.IsKilled(r) {
+				ba.killed.Store(true)
+				return
+			}
+			panic(r)
+		}
+	}()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		var timeout <-chan time.Time
+		if len(ba.pending) > 0 {
+			timeout = timer.C
+		}
+		select {
+		case r, ok := <-ba.in:
+			if !ok {
+				ba.flush()
+				return
+			}
+			if len(ba.pending) == 0 {
+				timer.Reset(ba.cfg.MaxWait)
+			}
+			ba.stage(r)
+			if len(ba.pending) >= ba.cfg.MaxBatch {
+				ba.flush()
+			}
+		case <-timeout:
+			ba.flush()
+		}
+	}
+}
+
+// stage runs order+linearize for one request and, for ack-on-linearize,
+// releases its response immediately.
+func (ba *Batcher) stage(r *Request) {
+	r.StageNs = time.Now().UnixNano()
+	ret, id, err := ba.batch.Stage(r.Code, r.args()...)
+	if errors.Is(err, core.ErrBatchFull) {
+		// MaxBatch should flush first; defensively make room.
+		ba.flush()
+		ret, id, err = ba.batch.Stage(r.Code, r.args()...)
+	}
+	r.Ret, r.ID, r.Err = ret, id, err
+	ba.updates.Add(1)
+	if err != nil {
+		// Never staged: respond now regardless of ack mode, and do not
+		// hold it for a fence that will not cover it.
+		r.done <- r
+		return
+	}
+	ba.pending = append(ba.pending, r)
+	if !r.AckPersist {
+		r.done <- r
+	}
+}
+
+// flush fences everything staged and releases the ack-on-persist
+// responses. The fence covers every pending request at once — this is
+// the whole amortization.
+func (ba *Batcher) flush() {
+	if len(ba.pending) == 0 {
+		return
+	}
+	err := ba.batch.Flush()
+	now := time.Now().UnixNano()
+	ba.flushes.Add(1)
+	ba.batched.Add(uint64(len(ba.pending)))
+	for _, r := range ba.pending {
+		r.PersistNs.Store(now)
+		if r.AckPersist {
+			if err != nil && r.Err == nil {
+				r.Err = err
+			}
+			r.done <- r
+		}
+		ba.ring.add(r)
+	}
+	ba.pending = ba.pending[:0]
+}
+
+// BatcherStats is a consistent-enough snapshot of the batcher's
+// volatile counters (each field individually atomic).
+type BatcherStats struct {
+	Updates uint64 // requests staged (including failed stages)
+	Flushes uint64 // fences issued by the batcher
+	Batched uint64 // sum of flushed batch sizes
+}
+
+// Stats snapshots the counters.
+func (ba *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Updates: ba.updates.Load(),
+		Flushes: ba.flushes.Load(),
+		Batched: ba.batched.Load(),
+	}
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Request is one update's journey through the batcher, flat and
+// CSV-friendly. The first block is the request proper, the second the
+// outcome, the third the timeline:
+//
+//	EnqueueNs — submitted to the batcher's queue (client side of the
+//	            server: the moment the frame was parsed)
+//	StageNs   — admitted to the open batch: ordered + linearized, the
+//	            speculative return value computed
+//	PersistNs — the covering flush fence completed (0 until then)
+//	RespondNs — the response frame was written to the client
+//
+// For ack-on-linearize requests RespondNs routinely precedes
+// PersistNs — that inversion in the CSV is the durability window the
+// client accepted. PersistNs and RespondNs are atomics because they
+// are stamped by different goroutines (batcher and connection writer)
+// after the response may already be in flight; everything else is
+// written by one goroutine before the request changes hands.
+type Request struct {
+	Tag        uint32 // client correlation tag, echoed in the response
+	Code       uint64
+	Args       [3]uint64
+	NArgs      uint8
+	AckPersist bool // respond after the flush fence, not at linearization
+
+	Ret uint64
+	ID  uint64
+	Err error
+
+	EnqueueNs int64
+	StageNs   int64
+	PersistNs atomic.Int64
+	RespondNs atomic.Int64
+
+	// done receives the request back when its ack condition is met
+	// (stage for ack-on-linearize, flush fence for ack-on-persist).
+	done chan *Request
+}
+
+func (r *Request) args() []uint64 { return r.Args[:r.NArgs] }
+
+// CSVHeader is the column row matching Request.CSVRow.
+const CSVHeader = "tag,code,ack,ret,id,err,enqueue_ns,stage_ns,persist_ns,respond_ns"
+
+// CSVRow renders the request as one CSV line (no trailing newline).
+func (r *Request) CSVRow() string {
+	ack := "linearize"
+	if r.AckPersist {
+		ack = "persist"
+	}
+	errv := 0
+	if r.Err != nil {
+		errv = 1
+	}
+	return fmt.Sprintf("%d,%d,%s,%d,%d,%d,%d,%d,%d,%d",
+		r.Tag, r.Code, ack, r.Ret, r.ID, errv,
+		r.EnqueueNs, r.StageNs, r.PersistNs.Load(), r.RespondNs.Load())
+}
+
+// timingRing keeps the most recent flushed requests for CSV export.
+type timingRing struct {
+	mu   sync.Mutex
+	buf  []*Request
+	next int
+	full bool
+}
+
+func newTimingRing(n int) *timingRing {
+	if n <= 0 {
+		n = 1 << 14
+	}
+	return &timingRing{buf: make([]*Request, n)}
+}
+
+func (t *timingRing) add(r *Request) {
+	t.mu.Lock()
+	t.buf[t.next] = r
+	t.next++
+	if t.next == len(t.buf) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// dump writes the retained timings, oldest first, as CSV.
+func (t *timingRing) dump(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	emit := func(r *Request) error {
+		_, err := fmt.Fprintln(w, r.CSVRow())
+		return err
+	}
+	if t.full {
+		for _, r := range t.buf[t.next:] {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range t.buf[:t.next] {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -227,6 +227,11 @@ type Handle struct {
 	in  *Instance
 	pid int
 	hs  []*core.Handle
+	// eachBuf is the reusable per-shard value buffer behind ReadSum (and
+	// any other aggregate probe that goes through ReadEachInto with it):
+	// a Handle runs one operation at a time, so the scratch never
+	// overlaps itself, and steady-state aggregates allocate nothing.
+	eachBuf []uint64
 }
 
 // PID returns the handle's process id.
@@ -265,24 +270,42 @@ func (h *Handle) On(s int) *core.Handle { return h.hs[s] }
 // ReadEach runs the read on EVERY shard, in shard order, returning one
 // value per shard. Each leg is linearizable within its shard and
 // monotone for this handle; the vector as a whole is not an atomic
-// cross-shard snapshot (updates may land between legs).
+// cross-shard snapshot (updates may land between legs). ReadEach
+// allocates a fresh slice per call; aggregate probes on a hot path
+// (bench pollers, server stats) should hold a buffer and call
+// ReadEachInto instead.
 func (h *Handle) ReadEach(code uint64, args ...uint64) []uint64 {
-	out := make([]uint64, len(h.hs))
-	for i, ch := range h.hs {
-		out[i] = ch.Read(code, args...)
+	return h.ReadEachInto(nil, code, args...)
+}
+
+// ReadEachInto is ReadEach with a caller-owned result buffer: dst is
+// grown only when its capacity is short of the shard count, so a
+// buffer reused across calls makes the whole aggregate path
+// allocation-free (pinned by TestShardAggregateAllocs). The returned
+// slice always has exactly one element per shard.
+func (h *Handle) ReadEachInto(dst []uint64, code uint64, args ...uint64) []uint64 {
+	if cap(dst) < len(h.hs) {
+		dst = make([]uint64, len(h.hs))
 	}
-	return out
+	dst = dst[:len(h.hs)]
+	for i, ch := range h.hs {
+		dst[i] = ch.Read(code, args...)
+	}
+	return dst
 }
 
 // ReadSum runs the read on every shard and sums — the composition of
 // additive aggregates (Map Len, Bank Total). The same caveat as
 // ReadEach applies: the sum is a sequence of per-shard linearizable
 // reads, not one atomic snapshot, so only quantities conserved WITHIN
-// each shard are exact under concurrency.
+// each shard are exact under concurrency. The per-shard values land in
+// the handle's reusable buffer via ReadEachInto, so ReadSum never
+// allocates.
 func (h *Handle) ReadSum(code uint64, args ...uint64) uint64 {
+	h.eachBuf = h.ReadEachInto(h.eachBuf, code, args...)
 	var sum uint64
-	for _, ch := range h.hs {
-		sum += ch.Read(code, args...)
+	for _, v := range h.eachBuf {
+		sum += v
 	}
 	return sum
 }

@@ -410,3 +410,46 @@ func TestShardFaultIsolation(t *testing.T) {
 		t.Fatalf("unknown health mode %v", mode)
 	}
 }
+
+// TestShardAggregateAllocs pins the sharded aggregate path's
+// allocation profile: after warmup (fast-path views adopted, scratch
+// buffer grown to the shard count), ReadSum and a reused-buffer
+// ReadEachInto must not allocate per call. ReadEach without a buffer
+// is the documented allocating variant.
+func TestShardAggregateAllocs(t *testing.T) {
+	pool := pmem.New(1<<24, nil)
+	in, err := Open(pool, objects.MapSpec{}, Config{Shards: 4, Base: baseCfg(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := in.Handle(0)
+	for k := uint64(0); k < 64; k++ {
+		if _, _, err := h.Update(objects.MapPut, k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: first aggregate grows the scratch buffer and may adopt
+	// fast-path views.
+	for i := 0; i < 8; i++ {
+		h.ReadSum(objects.MapLen)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.ReadSum(objects.MapLen) }); n != 0 {
+		t.Fatalf("ReadSum allocates %.1f per call, want 0", n)
+	}
+	buf := make([]uint64, 0, 4)
+	if n := testing.AllocsPerRun(100, func() { buf = h.ReadEachInto(buf, objects.MapLen) }); n != 0 {
+		t.Fatalf("ReadEachInto with capacity allocates %.1f per call, want 0", n)
+	}
+	// The Into variant agrees with the allocating one.
+	each := h.ReadEach(objects.MapLen)
+	var sum uint64
+	for i, v := range each {
+		if v != buf[i] {
+			t.Fatalf("ReadEach[%d] = %d, ReadEachInto = %d", i, v, buf[i])
+		}
+		sum += v
+	}
+	if got := h.ReadSum(objects.MapLen); got != sum || got != 64 {
+		t.Fatalf("ReadSum = %d, want %d (= 64 keys)", got, sum)
+	}
+}
