@@ -27,4 +27,16 @@
 // and — the quantity the paper bounds — persistent fences, per process.
 // See DESIGN.md for the substitution argument and EXPERIMENTS.md for the
 // reproduced claims.
+//
+// The structural invariants behind those claims — no fence reachable
+// from the read surface, no plain access to atomic fields, seqlock
+// regions that cannot leak or block, allocation/clock/lock-free hot
+// paths, cache-line-exact padded layouts — are statically enforced by
+// the analyzer suite in internal/analysis:
+//
+//	go run ./cmd/onllvet ./...
+//
+// runs the suite (plus stock go vet) over the module and exits
+// non-zero on any violation; DESIGN.md §3.11 catalogs the rules and
+// internal/analysis/doc.go specifies the //onll: annotations.
 package onll

@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and matches its diagnostics against // want "regexp"
+// comments, mirroring the x/tools harness of the same name: every
+// diagnostic must be expected by a want on its line, and every want
+// must be matched by a diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted patterns of one want comment. Multiple
+// patterns ("// want `a` \"b\"") each expect one diagnostic.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var patRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages under dir/src named by patterns,
+// applies the analyzer (dependencies included, for facts), and checks
+// the diagnostics of the named packages against their want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := analysis.LoadFixture(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(prog, analysis.Options{Analyzers: []*analysis.Analyzer{a}})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		if !pkg.Report {
+			continue
+		}
+		for _, f := range pkg.GoFiles {
+			ws, err := wantsIn(f)
+			if err != nil {
+				t.Fatalf("parsing wants in %s: %v", f, err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched, ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func wantsIn(file string) ([]*want, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, q := range patRe.FindAllString(m[1], -1) {
+			var pat string
+			if q[0] == '`' {
+				pat = q[1 : len(q)-1]
+			} else if pat, err = strconv.Unquote(q); err != nil {
+				return nil, fmt.Errorf("line %d: %v", i+1, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", i+1, err)
+			}
+			out = append(out, &want{file: file, line: i + 1, re: re})
+		}
+	}
+	return out, nil
+}

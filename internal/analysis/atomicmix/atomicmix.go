@@ -1,0 +1,167 @@
+// Package atomicmix mechanizes the PR 9 torn-read audit: any variable
+// or struct field whose address is passed to a sync/atomic function
+// anywhere must never be read or written plainly elsewhere — a plain
+// access on one side of an atomic publication is exactly the race the
+// hand audit found on the plog spill counter.
+//
+// Typed atomics (atomic.Int64 and friends) are already safe by
+// construction — the type system forbids plain access — so the
+// analyzer's job is the old-style `atomic.AddUint64(&x.f, 1)` surface.
+// Any use of such a location outside a sync/atomic argument is
+// reported, including taking its address (an escaping pointer defeats
+// the audit). //onll:plainok(reason) on the access line escapes
+// deliberate exceptions (single-goroutine phases, accesses ordered by
+// a lock all atomic writers also take).
+//
+// Fields of named structs export facts, so a package that accesses an
+// imported field plainly is caught even when the atomic accesses all
+// live in the defining package. The reverse direction (defining
+// package plain, importer atomic) is found when the defining package's
+// own uses are scanned against its own atomic sites.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "atomically-accessed fields and variables must never be accessed plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicAt := map[types.Object]string{} // object -> position of one atomic access
+	inAtomicArg := map[*ast.Ident]bool{}  // the &x.f operands of atomic calls
+	owner := map[types.Object]string{}    // field object -> struct type name
+
+	// Pass 1: collect atomic access sites.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeOf(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-atomic method: safe by type
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				obj, id, structName := addrOperand(pass, un)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicAt[obj]; !seen {
+					atomicAt[obj] = pass.Fset.Position(un.Pos()).String()
+				}
+				inAtomicArg[id] = true
+				if structName != "" {
+					owner[obj] = structName
+				}
+			}
+			return true
+		})
+	}
+
+	// Export facts for fields of named structs so importing packages
+	// can check their own accesses.
+	for obj, pos := range atomicAt {
+		if sn := owner[obj]; sn != "" {
+			pass.ExportFact(analysis.FieldKey(pass.Pkg.Path(), sn, obj.Name()), pos)
+		} else if obj.Parent() == pass.Pkg.Scope() {
+			pass.ExportFact(pass.Pkg.Path()+"."+obj.Name(), pos)
+		}
+	}
+
+	// Pass 2: flag every other use of those objects. SelectorExpr
+	// children include the Sel ident, which ast.Inspect visits again on
+	// its own; the handled set prevents the double visit.
+	handled := map[*ast.Ident]bool{}
+	check := func(id *ast.Ident, structName string) {
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || inAtomicArg[id] {
+			return
+		}
+		where, local := atomicAt[v]
+		if !local {
+			// Imported location: consult the defining package's facts.
+			switch {
+			case v.IsField() && structName != "" && v.Pkg() != nil && v.Pkg() != pass.Pkg:
+				if where, ok = pass.ImportFact(analysis.FieldKey(v.Pkg().Path(), structName, v.Name())); !ok {
+					return
+				}
+			case !v.IsField() && v.Pkg() != nil && v.Pkg() != pass.Pkg && v.Parent() == v.Pkg().Scope():
+				if where, ok = pass.ImportFact(v.Pkg().Path() + "." + v.Name()); !ok {
+					return
+				}
+			default:
+				return
+			}
+		}
+		if _, escaped := pass.Ann.Line(id.Pos(), "plainok"); escaped {
+			return
+		}
+		pass.Reportf(id.Pos(), "%s is accessed via sync/atomic (at %s) but accessed plainly here; use sync/atomic or annotate //onll:plainok(reason)", v.Name(), where)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				handled[e.Sel] = true
+				var structName string
+				if sel, ok := pass.TypesInfo.Selections[e]; ok {
+					structName = namedOf(sel.Recv())
+				}
+				check(e.Sel, structName)
+			case *ast.Ident:
+				if !handled[e] {
+					check(e, "")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// addrOperand resolves &x.f or &v to the variable object, the selected
+// identifier, and the owning struct's type name (fields only).
+func addrOperand(pass *analysis.Pass, un *ast.UnaryExpr) (types.Object, *ast.Ident, string) {
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[x.Sel]
+		var structName string
+		if sel, ok := pass.TypesInfo.Selections[x]; ok {
+			structName = namedOf(sel.Recv())
+		}
+		return obj, x.Sel, structName
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x], x, ""
+	}
+	return nil, nil, ""
+}
+
+// namedOf unwraps pointers and returns the receiver's named-type name.
+func namedOf(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheVersion invalidates every cached result when the driver or any
+// analyzer's semantics change; bump it alongside analyzer edits.
+const cacheVersion = "onllvet-1"
+
+// Options configures a driver run.
+type Options struct {
+	Analyzers []*Analyzer
+	// CacheDir, when non-empty, persists per-package facts and
+	// diagnostics keyed by a content hash of the package and its
+	// module-local dependencies, so an unchanged package is never
+	// re-analyzed (the CI fact cache).
+	CacheDir string
+}
+
+// cacheEntry is the serialized analysis result of one package.
+type cacheEntry struct {
+	Facts map[string]map[string]string // analyzer -> key -> value
+	Diags []cachedDiag
+}
+
+type cachedDiag struct {
+	Analyzer string
+	File     string // relative to the program root
+	Line     int
+	Col      int
+	Message  string
+}
+
+// Run analyzes prog's packages in order and returns the diagnostics of
+// every Report package, sorted by position.
+func Run(prog *Program, opts Options) ([]Diagnostic, error) {
+	// facts[analyzer][key] accumulates every package's exports; keys
+	// embed package paths so one flat namespace per analyzer suffices.
+	facts := map[string]map[string]string{}
+	for _, a := range opts.Analyzers {
+		facts[a.Name] = map[string]string{}
+	}
+	hashes := map[string]string{} // pkg path -> cache key, for dependents
+	var out []Diagnostic
+	for _, pkg := range prog.Packages {
+		var key string
+		if opts.CacheDir != "" {
+			var err error
+			if key, err = cacheKey(prog, pkg, opts, hashes); err != nil {
+				return nil, err
+			}
+			hashes[pkg.PkgPath] = key
+			if ent, ok := readCache(opts.CacheDir, key); ok {
+				for name, kv := range ent.Facts {
+					for k, v := range kv {
+						facts[name][k] = v
+					}
+				}
+				if pkg.Report {
+					for _, d := range ent.Diags {
+						out = append(out, Diagnostic{
+							Analyzer: d.Analyzer,
+							Message:  d.Message,
+							Position: token.Position{Filename: filepath.Join(prog.Dir, d.File), Line: d.Line, Column: d.Col},
+						})
+					}
+				}
+				continue
+			}
+		}
+		if err := prog.TypeCheck(pkg); err != nil {
+			return nil, err
+		}
+		ann := ParseAnnotations(prog.Fset, pkg.Syntax)
+		ent := cacheEntry{Facts: map[string]map[string]string{}}
+		var pkgDiags []Diagnostic
+		for _, a := range opts.Analyzers {
+			global := facts[a.Name]
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Ann:       ann,
+				Sizes:     types.SizesFor("gc", runtime.GOARCH),
+				imports: func(key string) (string, bool) {
+					v, ok := global[key]
+					return v, ok
+				},
+				export: map[string]string{},
+				diags:  &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			if len(pass.export) > 0 {
+				ent.Facts[a.Name] = pass.export
+				for k, v := range pass.export {
+					global[k] = v
+				}
+			}
+		}
+		// Release the syntax and type info: a full-module run holds
+		// dozens of packages, and dependents only need facts. Types
+		// stays — SourceImports siblings resolve through it.
+		pkg.Syntax, pkg.Info = nil, nil
+		if pkg.Report {
+			out = append(out, pkgDiags...)
+		}
+		if opts.CacheDir != "" {
+			for _, d := range pkgDiags {
+				rel, err := filepath.Rel(prog.Dir, d.Position.Filename)
+				if err != nil {
+					rel = d.Position.Filename
+				}
+				ent.Diags = append(ent.Diags, cachedDiag{
+					Analyzer: d.Analyzer, File: rel,
+					Line: d.Position.Line, Col: d.Position.Column,
+					Message: d.Message,
+				})
+			}
+			writeCache(opts.CacheDir, key, ent)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// cacheKey hashes everything a package's analysis result depends on:
+// driver version, toolchain, analyzer set, the package's own sources,
+// and the cache keys of its already-hashed module-local dependencies
+// (external deps are covered by the toolchain version).
+func cacheKey(prog *Program, pkg *Package, opts Options, depKeys map[string]string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion, runtime.Version(), runtime.GOARCH)
+	for _, a := range opts.Analyzers {
+		fmt.Fprintln(h, a.Name)
+	}
+	fmt.Fprintln(h, pkg.PkgPath)
+	for _, f := range pkg.GoFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintln(h, filepath.Base(f), len(data))
+		h.Write(data)
+	}
+	// Imports influence analysis through both types and facts; fold in
+	// the dep keys computed earlier in this run (dependency order
+	// guarantees module-local deps were hashed first).
+	imps, err := moduleImports(pkg)
+	if err != nil {
+		return "", err
+	}
+	for _, ip := range imps {
+		if k, ok := depKeys[ip]; ok {
+			fmt.Fprintln(h, "dep", ip, k)
+		} else {
+			fmt.Fprintln(h, "ext", ip)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// moduleImports returns the package's import paths, sorted. It parses
+// only import clauses, so hashing stays cheap on cache hits.
+func moduleImports(pkg *Package) ([]string, error) {
+	seen := map[string]bool{}
+	for _, f := range pkg.GoFiles {
+		paths, err := importsOf(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			seen[p] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func readCache(dir, key string) (cacheEntry, bool) {
+	var ent cacheEntry
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil || json.Unmarshal(data, &ent) != nil {
+		return ent, false
+	}
+	return ent, true
+}
+
+func writeCache(dir, key string, ent cacheEntry) {
+	// Caching is best-effort: analysis correctness never depends on it.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(ent)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(dir, key+".json"))
+}

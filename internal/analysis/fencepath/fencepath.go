@@ -1,0 +1,250 @@
+// Package fencepath enforces the paper's 0-pfence read invariant
+// statically: nothing reachable from a read-side entry point may issue
+// a persistent-memory write or fence.
+//
+// Entry points are exported methods named Read, TryRead, ReadEach,
+// ReadEachInto, ReadSum or Scrub, plus anything annotated
+// //onll:readpath. Forbidden roots are the NVM-mutating primitives of
+// any package named pmem (Store, StoreLine, StoreRange, CAS, Flush,
+// FlushRange, Fence, Persist, SetRoot); log appends are caught
+// transitively because they call into pmem. Reachability propagates
+// across packages through facts: each package exports, for every
+// function that may fence, the witness call chain down to the
+// primitive, and callers splice their own edge onto it, so diagnostics
+// read as full paths ("Read → advanceView → (*pmem.Pool).Fence").
+//
+// //onll:allowfence(reason) makes a function a propagation barrier for
+// deliberate exceptions (the eager baseline's fence-per-read, the
+// pressure valve); a barrier that cannot actually reach a fence is
+// itself reported, so stale escapes fail the build.
+//
+// Limits (by construction, documented rather than guessed at): calls
+// through stored function values are not tracked, and interface-method
+// dispatch is resolved only against concrete implementations declared
+// in the interface's own package (which covers trace.Interface; the
+// spec.State implementations in internal/objects are pure and never
+// see a pool).
+package fencepath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fencepath",
+	Doc:  "read-side entry points must not reach a pmem write or fence (0 pfences per read)",
+	Run:  run,
+}
+
+// fenceRoots are the NVM-mutating primitives; a callee with one of
+// these names in a package named pmem seeds the reachability.
+var fenceRoots = map[string]bool{
+	"Store": true, "StoreLine": true, "StoreRange": true,
+	"CAS": true, "Flush": true, "FlushRange": true,
+	"Fence": true, "Persist": true, "SetRoot": true,
+}
+
+// entryNames are method names treated as read-side entry points even
+// without an //onll:readpath annotation.
+var entryNames = map[string]bool{
+	"Read": true, "TryRead": true, "ReadEach": true,
+	"ReadEachInto": true, "ReadSum": true, "Scrub": true,
+}
+
+type callSite struct {
+	fn  *types.Func
+	pos ast.Node
+}
+
+type funcInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	callees []callSite
+	allow   *analysis.Annotation // //onll:allowfence, if any
+	entry   bool
+}
+
+func run(pass *analysis.Pass) error {
+	funcs := map[*types.Func]*funcInfo{}
+	var order []*funcInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{decl: fd, obj: obj}
+			if ann, ok := pass.Ann.Func(fd, "allowfence"); ok {
+				fi.allow = &ann
+			}
+			if _, ok := pass.Ann.Func(fd, "readpath"); ok {
+				fi.entry = true
+			} else if fd.Recv != nil && entryNames[fd.Name.Name] && fd.Name.IsExported() {
+				fi.entry = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := analysis.CalleeOf(pass.TypesInfo, call); callee != nil {
+					fi.callees = append(fi.callees, callSite{callee, call})
+				}
+				return true
+			})
+			funcs[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	// reach[f] is the witness chain from f (inclusive) down to a fence
+	// root, or "" when f cannot fence. barriers=true re-runs the
+	// fixpoint with //onll:allowfence functions cut out of propagation.
+	compute := func(barriers bool) map[*types.Func]string {
+		reach := map[*types.Func]string{}
+		for changed := true; changed; {
+			changed = false
+			for _, fi := range order {
+				if reach[fi.obj] != "" || (barriers && fi.allow != nil) {
+					continue
+				}
+				if chain := chainFrom(pass, funcs, reach, fi, barriers); chain != "" {
+					reach[fi.obj] = display(fi.obj) + " → " + chain
+					changed = true
+				}
+			}
+		}
+		return reach
+	}
+	raw := compute(false)
+	eff := compute(true)
+
+	// Interface dispatch: an interface method may fence if any concrete
+	// implementation declared in this package does. Resolved here, in
+	// the interface's declaring package, and exported as a fact so both
+	// local callers (via the recompute below) and other packages see
+	// through the interface.
+	for propagateInterfaces(pass, funcs, eff) {
+		eff = compute(true)
+	}
+
+	for _, fi := range order {
+		if fi.allow != nil {
+			if raw[fi.obj] == "" {
+				pass.Reportf(fi.allow.Pos, "unused //onll:allowfence on %s: it cannot reach a pmem write or fence", fi.obj.Name())
+			}
+			continue
+		}
+		chain := eff[fi.obj]
+		if chain == "" {
+			continue
+		}
+		key := analysis.FuncKey(fi.obj)
+		pass.ExportFact(key, chain)
+		if fi.entry {
+			pass.Reportf(fi.decl.Name.Pos(), "read path reaches a persistent-memory write/fence: %s (annotate //onll:allowfence(reason) if deliberate)", chain)
+		}
+	}
+	return nil
+}
+
+// chainFrom finds the first callee of fi that fences — directly (a pmem
+// root), via an imported fact, or via a local function already known to
+// fence — and returns the witness chain starting at that callee.
+func chainFrom(pass *analysis.Pass, funcs map[*types.Func]*funcInfo, reach map[*types.Func]string, fi *funcInfo, barriers bool) string {
+	for _, cs := range fi.callees {
+		callee := cs.fn
+		if callee.Pkg() != nil && callee.Pkg().Name() == "pmem" && fenceRoots[callee.Name()] {
+			return display(callee)
+		}
+		if local, ok := funcs[callee]; ok {
+			if barriers && local.allow != nil {
+				continue
+			}
+			if c := reach[callee]; c != "" {
+				return c
+			}
+			continue
+		}
+		if c, ok := pass.ImportFact(analysis.FuncKey(callee)); ok {
+			return c
+		}
+	}
+	return ""
+}
+
+// propagateInterfaces marks interface methods whose package-local
+// concrete implementations may fence, exporting the fact under the
+// interface method's key. It reports whether any new fact was added
+// (the caller then reruns the fixpoint so local interface callers pick
+// it up).
+func propagateInterfaces(pass *analysis.Pass, funcs map[*types.Func]*funcInfo, eff map[*types.Func]string) bool {
+	changed := false
+	scope := pass.Pkg.Scope()
+	var ifaces []*types.Named
+	var concretes []types.Type
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named.Underlying()) {
+			ifaces = append(ifaces, named)
+		} else {
+			concretes = append(concretes, named)
+		}
+	}
+	for _, iface := range ifaces {
+		it := iface.Underlying().(*types.Interface)
+		for _, ct := range concretes {
+			impl := types.NewPointer(ct)
+			if !types.Implements(impl, it) && !types.Implements(ct, it) {
+				continue
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				im := it.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, pass.Pkg, im.Name())
+				cm, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				chain := eff[cm]
+				if chain == "" {
+					if c, ok := pass.ImportFact(analysis.FuncKey(cm)); ok {
+						chain = c
+					}
+				}
+				if chain == "" {
+					continue
+				}
+				key := analysis.FuncKey(im)
+				if _, done := pass.ImportFact(key); !done {
+					pass.ExportFact(key, display(im)+" ⇒ "+chain)
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// display shortens a function's full name for diagnostics: module and
+// internal prefixes add noise to every chain link.
+func display(fn *types.Func) string {
+	s := fn.FullName()
+	s = strings.ReplaceAll(s, "repro/internal/", "")
+	s = strings.ReplaceAll(s, "repro/", "")
+	return s
+}

@@ -1,0 +1,12 @@
+package fencepath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fencepath"
+)
+
+func TestFencePath(t *testing.T) {
+	analysistest.Run(t, "../testdata", fencepath.Analyzer, "fencea", "fenceb")
+}

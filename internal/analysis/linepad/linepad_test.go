@@ -1,0 +1,12 @@
+package linepad_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/linepad"
+)
+
+func TestLinePad(t *testing.T) {
+	analysistest.Run(t, "../testdata", linepad.Analyzer, "linepada", "linepadb")
+}

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one unit of analysis: a set of source files to
+// type-check, plus the two ways its imports resolve — source-loaded
+// sibling packages (fixture mode) or compiler export data (everything
+// else).
+type Package struct {
+	PkgPath string
+	Dir     string
+	GoFiles []string // absolute paths, tests excluded
+	// Report marks packages whose diagnostics the caller asked for;
+	// fixture dependencies are analyzed for facts but not reported.
+	Report bool
+	// SourceImports maps import paths to sibling packages type-checked
+	// from source (fixture mode only; module mode resolves every import
+	// from export data).
+	SourceImports map[string]*Package
+
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// A Program is a loaded set of packages in dependency order, sharing
+// one FileSet and one export-data importer.
+type Program struct {
+	Fset *token.FileSet
+	// Packages is every package to analyze, dependencies first.
+	Packages []*Package
+	// Dir is the load root (module root, or the fixture src root);
+	// diagnostics render file paths relative to it.
+	Dir string
+
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	DepsErrors []*struct{ Err string }
+	Error      *struct{ Err string }
+}
+
+func runGoList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// LoadModule loads the packages matching patterns (e.g. "./...") in the
+// module rooted at or above dir, compiling export data for every
+// dependency as a side effect. Only module-local packages are analyzed
+// from source; all imports resolve through export data.
+func LoadModule(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,Module,Error"}, patterns...)
+	listed, err := runGoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	// -deps lists dependencies before dependents: exactly the analysis
+	// order the facts system needs.
+	targets, err := runGoList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	root := dir
+	for _, t := range targets {
+		want[strings.TrimSpace(t.ImportPath)] = true
+	}
+	prog := &Program{Fset: token.NewFileSet(), Dir: root, exports: map[string]string{}}
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			prog.exports[p.ImportPath] = p.Export
+		}
+		if !want[p.ImportPath] {
+			continue
+		}
+		pkg := &Package{PkgPath: p.ImportPath, Dir: p.Dir, Report: true}
+		for _, f := range p.GoFiles {
+			pkg.GoFiles = append(pkg.GoFiles, filepath.Join(p.Dir, f))
+		}
+		if len(pkg.GoFiles) > 0 {
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	prog.initImporter()
+	return prog, nil
+}
+
+// LoadFixture loads GOPATH-style fixture packages: each path names a
+// directory under root/src. Fixture-internal imports are resolved from
+// source (and analyzed too, for facts, without reporting); anything
+// else resolves from the host toolchain's export data.
+func LoadFixture(root string, paths ...string) (*Program, error) {
+	prog := &Program{Fset: token.NewFileSet(), Dir: filepath.Join(root, "src"), exports: map[string]string{}}
+	seen := map[string]*Package{}
+	var external []string
+	var load func(path string, report bool) (*Package, error)
+	load = func(path string, report bool) (*Package, error) {
+		if pkg, ok := seen[path]; ok {
+			pkg.Report = pkg.Report || report
+			return pkg, nil
+		}
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("fixture package %s: %v", path, err)
+		}
+		pkg := &Package{PkgPath: path, Dir: dir, Report: report, SourceImports: map[string]*Package{}}
+		seen[path] = pkg
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				pkg.GoFiles = append(pkg.GoFiles, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(pkg.GoFiles)
+		// Resolve imports: fixture sibling if the directory exists,
+		// external (toolchain export data) otherwise.
+		for _, f := range pkg.GoFiles {
+			src, err := parser.ParseFile(prog.Fset, f, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range src.Imports {
+				ipath, _ := strconv.Unquote(imp.Path.Value)
+				if ipath == "unsafe" || pkg.SourceImports[ipath] != nil {
+					continue
+				}
+				if st, err := os.Stat(filepath.Join(root, "src", filepath.FromSlash(ipath))); err == nil && st.IsDir() {
+					dep, err := load(ipath, false)
+					if err != nil {
+						return nil, err
+					}
+					pkg.SourceImports[ipath] = dep
+				} else {
+					external = append(external, ipath)
+				}
+			}
+		}
+		// Dependencies-first order, like -deps.
+		prog.Packages = append(prog.Packages, pkg)
+		return pkg, nil
+	}
+	for _, p := range paths {
+		if _, err := load(p, true); err != nil {
+			return nil, err
+		}
+	}
+	if len(external) > 0 {
+		sort.Strings(external)
+		external = slicesCompact(external)
+		args := append([]string{"-deps", "-export", "-json=ImportPath,Export"}, external...)
+		listed, err := runGoList(root, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				prog.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	prog.initImporter()
+	return prog, nil
+}
+
+// importsOf parses only f's import clause and returns the paths.
+func importsOf(f string) ([]string, error) {
+	src, err := parser.ParseFile(token.NewFileSet(), f, nil, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, imp := range src.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func slicesCompact(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (prog *Program) initImporter() {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := prog.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	prog.gc = importer.ForCompiler(prog.Fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// pkgImporter resolves one package's imports: source siblings first,
+// then export data. It satisfies types.Importer.
+type pkgImporter struct {
+	prog *Program
+	pkg  *Package
+}
+
+func (pi pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dep, ok := pi.pkg.SourceImports[path]; ok {
+		if dep.Types == nil {
+			return nil, fmt.Errorf("import cycle or unchecked fixture dependency %q", path)
+		}
+		return dep.Types, nil
+	}
+	return pi.prog.gc.Import(path)
+}
+
+// TypeCheck parses and type-checks pkg in place. Dependencies listed in
+// SourceImports must have been checked already (Program.Packages order
+// guarantees this).
+func (prog *Program) TypeCheck(pkg *Package) error {
+	pkg.Syntax = pkg.Syntax[:0]
+	for _, f := range pkg.GoFiles {
+		src, err := parser.ParseFile(prog.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkg.Syntax = append(pkg.Syntax, src)
+	}
+	conf := types.Config{
+		Importer: pkgImporter{prog, pkg},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := conf.Check(pkg.PkgPath, prog.Fset, pkg.Syntax, pkg.Info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %v", pkg.PkgPath, err)
+	}
+	pkg.Types = tpkg
+	return nil
+}

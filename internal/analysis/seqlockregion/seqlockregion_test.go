@@ -1,0 +1,12 @@
+package seqlockregion_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seqlockregion"
+)
+
+func TestSeqlockRegion(t *testing.T) {
+	analysistest.Run(t, "../testdata", seqlockregion.Analyzer, "seqlocka", "seqlockb")
+}

@@ -1,0 +1,43 @@
+// Package atomica is the atomicmix POSITIVE fixture: the PR 9
+// spill-counter bug class — a field written through sync/atomic and
+// read plainly elsewhere — in local, package-var and cross-package
+// form.
+package atomica
+
+import (
+	"atomiclib"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits uint64
+	cold uint64
+}
+
+func (c *counter) add() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *counter) snapshot() uint64 {
+	return c.hits // want `hits is accessed via sync/atomic`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `hits is accessed via sync/atomic`
+	c.cold = 0
+}
+
+var seq uint64
+
+func next() uint64 { return atomic.AddUint64(&seq, 1) }
+
+func peek() uint64 {
+	return seq // want `seq is accessed via sync/atomic`
+}
+
+// Cross-package: atomiclib's discipline travels as a fact.
+func spills(s *atomiclib.Stats) uint64 {
+	return s.Spills // want `Spills is accessed via sync/atomic`
+}
+
+func chill(s *atomiclib.Stats) uint64 {
+	return s.Cold // plain-only in its package: fine
+}

@@ -1,0 +1,15 @@
+// Package atomiclib exports a struct whose field is accessed via
+// sync/atomic: the defining package is disciplined, and importing
+// fixtures must be caught through the exported fact alone.
+package atomiclib
+
+import "sync/atomic"
+
+type Stats struct {
+	Spills uint64 // accessed only via sync/atomic here
+	Cold   uint64 // plain-only: no fact
+}
+
+func (s *Stats) Bump()        { atomic.AddUint64(&s.Spills, 1) }
+func (s *Stats) Load() uint64 { return atomic.LoadUint64(&s.Spills) }
+func (s *Stats) Tick()        { s.Cold++ }

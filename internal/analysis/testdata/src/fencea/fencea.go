@@ -1,0 +1,67 @@
+// Package fencea is the fencepath POSITIVE fixture: read entry points
+// that reach a pmem write or fence — directly, through a local helper
+// chain, through an imported package's fact, through interface
+// dispatch — plus a stale //onll:allowfence.
+package fencea
+
+import (
+	"fencelib"
+	"pmem"
+)
+
+type T struct {
+	pool *pmem.Pool
+	log  *fencelib.Log
+}
+
+// Read reaches a fence through a local helper chain.
+func (t *T) Read(code uint64) uint64 { // want `read path reaches a persistent-memory write/fence: .*Read → .*refresh → .*Fence`
+	t.refresh()
+	return t.pool.Load(0, 0)
+}
+
+func (t *T) refresh() {
+	t.pool.Fence(0)
+}
+
+// TryRead fences through an imported package: only the fact chain can
+// see it.
+func (t *T) TryRead(code uint64) (uint64, bool) { // want `read path reaches a persistent-memory write/fence: .*TryRead → .*Append → .*Store`
+	t.log.Append(code)
+	return 0, true
+}
+
+// ReadSum writes NVM directly — the StoreLine-on-the-read-path
+// regression the acceptance criteria name.
+func (t *T) ReadSum() uint64 { // want `read path reaches a persistent-memory write/fence: .*ReadSum → .*StoreLine`
+	t.pool.StoreLine(0, 0, nil)
+	return 0
+}
+
+type Sink interface{ Sync() }
+
+type fileSink struct{ pool *pmem.Pool }
+
+func (s *fileSink) Sync() { s.pool.Fence(0) }
+
+// ReadEach fences through interface dispatch, resolved against the
+// package-local implementation.
+func (t *T) ReadEach(s Sink) uint64 { // want `read path reaches a persistent-memory write/fence: .*ReadEach → .*Sync`
+	s.Sync()
+	return 0
+}
+
+// Annotated entry point: free functions opt in with //onll:readpath.
+//
+//onll:readpath
+func Serve(t *T) uint64 { // want `read path reaches a persistent-memory write/fence: .*Serve → .*Store`
+	t.pool.Store(0, 0, 1)
+	return 0
+}
+
+// A barrier that cannot fence is stale and must be reported.
+//
+//onll:allowfence(left over from a removed valve call) // want `unused //onll:allowfence on harmless`
+func (t *T) harmless() uint64 {
+	return t.pool.Load(0, 0)
+}

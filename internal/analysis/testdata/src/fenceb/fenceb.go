@@ -1,0 +1,51 @@
+// Package fenceb is the fencepath NEGATIVE fixture: deliberate fences
+// behind //onll:allowfence (the eager-baseline read, a valve call),
+// fence-free read paths over durable loads, and update paths that may
+// fence freely. No diagnostics expected.
+package fenceb
+
+import (
+	"fencelib"
+	"pmem"
+)
+
+type E struct {
+	pool *pmem.Pool
+	log  *fencelib.Log
+}
+
+// Read persists the observed head before returning — the eager
+// baseline's deliberate fence-per-read, escaped with a reason.
+//
+//onll:allowfence(eager baseline: the observed linearization must be durable before returning)
+func (e *E) Read(code uint64) uint64 {
+	v := e.pool.Load(0, 0)
+	e.pool.Persist(0, 0, 8)
+	return v
+}
+
+// TryRead reaches a fence only through fencelib's Valve, which is an
+// allowfence barrier in its own package: the fact never propagates.
+func (e *E) TryRead(code uint64) (uint64, bool) {
+	e.log.Valve()
+	return e.log.Peek(), true
+}
+
+// Scrub only reads durable words: trivially clean.
+func (e *E) Scrub() uint64 {
+	return e.pool.DurableWord(0)
+}
+
+// Update fences — that is the paper's 1-pfence update side, and update
+// paths are not entry points.
+func (e *E) Update(code uint64) uint64 {
+	e.log.Append(code)
+	return 0
+}
+
+// readHelper is reachable from Read but behind the barrier; unexported
+// helpers by themselves are not entry points either.
+func (e *E) readHelper() uint64 {
+	e.pool.Fence(0)
+	return 0
+}

@@ -1,0 +1,22 @@
+// Package fencelib exercises cross-package fact propagation: its
+// exported helpers fence (or are allowfence barriers), and importing
+// fixtures must see that through facts alone.
+package fencelib
+
+import "pmem"
+
+type Log struct{ pool *pmem.Pool }
+
+// Append persists a record: may-fence, exported as a fact.
+func (l *Log) Append(v uint64) {
+	l.pool.Store(0, 0, v)
+	l.pool.Fence(0)
+}
+
+// Peek only reads durable state: no fact.
+func (l *Log) Peek() uint64 { return l.pool.DurableWord(0) }
+
+//onll:allowfence(pressure valve: deliberate fence on a read-triggered path)
+func (l *Log) Valve() {
+	l.pool.Fence(0)
+}

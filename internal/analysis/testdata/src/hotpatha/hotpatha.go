@@ -1,0 +1,46 @@
+// Package hotpatha is the hotpath POSITIVE fixture. stage mirrors the
+// real finding class from the first full-tree run: an un-gated
+// time.Now on the batcher's per-request path.
+package hotpatha
+
+import (
+	"sync"
+	"time"
+)
+
+type ring struct {
+	mu   sync.Mutex
+	buf  []int64
+	next int
+}
+
+//onll:hotpath
+func (r *ring) stage(v int64) {
+	t := time.Now().UnixNano() // want `un-gated clock read \(time\.Now\)`
+	r.mu.Lock()                // want `lock acquisition \(\(\*sync\.Mutex\)\.Lock\)`
+	r.buf = append(r.buf, t+v)
+	r.mu.Unlock()
+}
+
+//onll:hotpath
+func (r *ring) age() time.Duration {
+	return time.Since(time.Unix(0, r.buf[0])) // want `un-gated clock read \(time\.Since\)`
+}
+
+//onll:hotpath
+func (r *ring) grow(n int) {
+	r.buf = make([]int64, n) // want `make allocates`
+	f := func() {}           // want `closure allocates`
+	f()
+}
+
+//onll:hotpath
+func (r *ring) signal(ch chan int) {
+	ch <- 1      // want `channel send`
+	go r.grow(1) // want `goroutine launch`
+}
+
+//onll:hotpath
+func (r *ring) slices() {
+	r.buf = []int64{1, 2, 3} // want `slice/map literal allocates`
+}

@@ -1,0 +1,81 @@
+// Package seqlocka is the seqlockregion POSITIVE fixture: held
+// returns, allocation, channel traffic and blocking calls between a
+// stripe acquire and its release, plus a discarded acquire result.
+package seqlocka
+
+import "time"
+
+type slot struct {
+	ver  uint64
+	data []uint64
+}
+
+//onll:seqlock(acquire)
+func (s *slot) tryAcquire() (uint64, bool) {
+	v := s.ver
+	if v&1 != 0 {
+		return 0, false
+	}
+	s.ver = v + 1
+	return v, true
+}
+
+//onll:seqlock(release)
+func (s *slot) release(v uint64) { s.ver = v + 2 }
+
+func leakOnReturn(s *slot) bool {
+	v, ok := s.tryAcquire()
+	if !ok {
+		return false
+	}
+	if len(s.data) == 0 {
+		return true // want `return while holding a seqlock stripe`
+	}
+	s.release(v)
+	return true
+}
+
+func allocInRegion(s *slot, n int) {
+	v, ok := s.tryAcquire()
+	if !ok {
+		return
+	}
+	buf := make([]uint64, n) // want `make allocates inside a seqlock region`
+	s.data = buf
+	s.release(v)
+}
+
+func blockInRegion(s *slot, ch chan int) {
+	v, ok := s.tryAcquire()
+	if !ok {
+		return
+	}
+	ch <- 1            // want `channel send inside a seqlock region`
+	time.Sleep(1)      // want `time.Sleep inside a seqlock region`
+	s.release(v)
+}
+
+func closureInRegion(s *slot) {
+	v, ok := s.tryAcquire()
+	if !ok {
+		return
+	}
+	f := func() uint64 { return s.ver } // want `closure allocated inside a seqlock region`
+	_ = f
+	s.release(v)
+}
+
+func maybeLeak(s *slot, b bool) {
+	v, ok := s.tryAcquire()
+	if !ok {
+		return
+	}
+	if b {
+		s.release(v)
+	}
+	return // want `may return while holding a seqlock stripe`
+}
+
+func discard(s *slot) {
+	s.tryAcquire() // want `seqlock acquire result discarded`
+} // want `function ends while holding a seqlock stripe`

@@ -134,7 +134,11 @@ func (e *Eager) Update(pid int, code uint64, args ...uint64) (uint64, error) {
 var eagerSeq uint64 // process-wide unique ids for baseline nodes
 
 // Read implements Object: one persistent fence per read (the observed
-// linearization must be durable before the read returns).
+// linearization must be durable before the read returns). This is the
+// whole point of the baseline — the fencepath escape below is the
+// deliberate inverse of the paper's 0-pfence read invariant.
+//
+//onll:allowfence(eager baseline fences reads by design: the observed linearization must be durable before returning)
 func (e *Eager) Read(pid int, code uint64, args ...uint64) uint64 {
 	op := spec.Op{Code: code}
 	copy(op.Args[:], args)

@@ -127,6 +127,8 @@ func (fc *FlatCombining) Update(pid int, code uint64, args ...uint64) (uint64, e
 // Read implements Object. Reads also go through the combiner: they are
 // linearized against the post-fence state, and — as the paper's Section 8
 // argues — they wait out the combiner's fence like everyone else.
+//
+//onll:allowfence(flat-combining reads go through the combiner and may BE the combiner, fencing the gathered batch — the §8 baseline the paper argues against)
 func (fc *FlatCombining) Read(pid int, code uint64, args ...uint64) uint64 {
 	ret, _ := fc.submit(pid, code, true, args)
 	return ret

@@ -88,6 +88,8 @@ func (b *Batch) Pending() int { return len(b.nodes) }
 // no fence. The op is immediately visible to readers but not durable
 // until the next Flush; id is usable with Report.WasLinearized to
 // detect post-crash loss. Issues zero persistent fences.
+//
+//onll:hotpath
 func (b *Batch) Stage(code uint64, args ...uint64) (ret, id uint64, err error) {
 	h := b.h
 	if qerr := h.in.quarErr(); qerr != nil {

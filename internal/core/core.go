@@ -568,6 +568,8 @@ func (h *Handle) exit() {
 // Report.WasLinearized after a crash). The call issues exactly one
 // persistent fence (plus, every CompactEvery updates, the compaction
 // snapshot's fence).
+//
+//onll:hotpath
 func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error) {
 	if qerr := h.in.quarErr(); qerr != nil {
 		return 0, 0, qerr
@@ -597,7 +599,7 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 	fuzzy := h.fuzzyBuf
 	if in.cfg.UnsafeNoHelping {
 		// ABLATION (E13): persist only our own operation.
-		fuzzy = []spec.Op{op}
+		fuzzy = []spec.Op{op} //onll:allocok(E13 ablation branch only; the production path reuses fuzzyBuf)
 	}
 	if in.cfg.UnsafeLinearizeFirst {
 		// ABLATION (E13): linearize before persisting — the ordering
@@ -662,6 +664,8 @@ func (h *Handle) Update(code uint64, args ...uint64) (ret, id uint64, err error)
 // needs no reclamation cover, and a fast read costs one epoch load plus
 // the view read. The floor store is deferred to the slow path, which is
 // the only one that walks.
+//
+//onll:hotpath
 func (h *Handle) Read(code uint64, args ...uint64) uint64 {
 	if qerr := h.in.quarErr(); qerr != nil {
 		// Read's signature predates quarantine and cannot return an
@@ -720,6 +724,8 @@ func (h *Handle) Read(code uint64, args ...uint64) uint64 {
 
 // computeUpdate returns node.Op's value on the prefix ending at node,
 // advancing the local view when enabled.
+//
+//onll:hotpath
 func (h *Handle) computeUpdate(node *trace.Node) uint64 {
 	if h.view != nil && h.viewIdx < node.Idx() {
 		return h.advanceView(node, true)
@@ -742,6 +748,8 @@ func (h *Handle) computeUpdate(node *trace.Node) uint64 {
 }
 
 // computeRead returns op's value on the prefix ending at node.
+//
+//onll:hotpath
 func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 	if h.view != nil {
 		if h.viewIdx < node.Idx() {
@@ -787,6 +795,8 @@ func (h *Handle) computeRead(node *trace.Node, op spec.Op) uint64 {
 // there — under frontier-chasing churn the slot is almost always
 // published at the latest available node, and the strict bound would
 // turn the fast path off for exactly the reads it should relieve.
+//
+//onll:hotpath
 func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
 	if h.in.pubs != nil {
 		if lag := node.DistanceFrom(h.viewIdx); lag > 0 {
@@ -811,7 +821,7 @@ func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
 	var walkStart time.Time
 	sample := h.in.costs != nil && len(nodes) >= costSampleMinNodes
 	if sample {
-		walkStart = time.Now()
+		walkStart = time.Now() //onll:clockok(cost-model walk probe: only walks of costSampleMinNodes+ nodes are timed)
 	}
 	ret := spec.RetOK
 	for _, n := range nodes {
@@ -822,7 +832,7 @@ func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
 		}
 	}
 	if sample {
-		h.in.costs.observeWalk(len(nodes), time.Since(walkStart))
+		h.in.costs.observeWalk(len(nodes), time.Since(walkStart)) //onll:clockok(cost-model walk probe)
 	}
 	if h.in.pubs != nil && len(nodes) > publishMinLag {
 		h.tryPublish()
@@ -833,6 +843,8 @@ func (h *Handle) advanceView(node *trace.Node, forUpdate bool) uint64 {
 // adoptThreshold returns the minimum published-view lead (in trace
 // nodes) for adoption to be attempted: the configured fixed constant,
 // or the instance cost model's current estimate.
+//
+//onll:hotpath
 func (h *Handle) adoptThreshold() uint64 {
 	if fl := h.in.cfg.AdoptPolicy.FixedMinLag; fl > 0 {
 		return uint64(fl)
@@ -843,6 +855,8 @@ func (h *Handle) adoptThreshold() uint64 {
 // newNode returns a trace node for op, reusing a pooled node when the
 // freelist has one: steady-state updates under compaction allocate
 // nothing.
+//
+//onll:hotpath
 func (h *Handle) newNode(op spec.Op) *trace.Node {
 	if n := len(h.freeNodes); n > 0 {
 		nd := h.freeNodes[n-1]

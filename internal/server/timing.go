@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Request is one update's journey through the batcher, flat and
@@ -65,22 +66,47 @@ func (r *Request) CSVRow() string {
 		r.EnqueueNs, r.StageNs, r.PersistNs.Load(), r.RespondNs.Load())
 }
 
-// timingRing keeps the most recent flushed requests for CSV export.
+// timingRing keeps the most recent flushed requests for CSV export. A
+// disarmed ring (Config.TimingCap < 0) retains nothing AND gates off
+// every per-request clock read: nowNs is the single place the request
+// timeline touches the clock, so the capture cost is zero when capture
+// is off — the same discipline as the core cost model's sample-gated
+// EWMA probes, enforced by the hotpath analyzer on the batcher.
 type timingRing struct {
-	mu   sync.Mutex
-	buf  []*Request
-	next int
-	full bool
+	armed bool
+	mu    sync.Mutex
+	buf   []*Request
+	next  int
+	full  bool
 }
 
 func newTimingRing(n int) *timingRing {
-	if n <= 0 {
+	if n < 0 {
+		return &timingRing{} // disarmed: no retention, no clock reads
+	}
+	if n == 0 {
 		n = 1 << 14
 	}
-	return &timingRing{buf: make([]*Request, n)}
+	return &timingRing{armed: true, buf: make([]*Request, n)}
+}
+
+// nowNs is the request timeline's only clock read, gated on the ring
+// being armed: timestamps are meaningless without the ring that
+// retains them, and a server run with capture disabled must not pay
+// clock reads per request.
+//
+//onll:hotpath
+func (t *timingRing) nowNs() int64 {
+	if !t.armed {
+		return 0
+	}
+	return time.Now().UnixNano() //onll:clockok(timing capture: armed ring only, gated off with TimingCap < 0)
 }
 
 func (t *timingRing) add(r *Request) {
+	if !t.armed {
+		return
+	}
 	t.mu.Lock()
 	t.buf[t.next] = r
 	t.next++

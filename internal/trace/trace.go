@@ -204,6 +204,7 @@ func GetFuzzyOps(gate sched.Gate, pid int, n *Node) []spec.Op {
 // GetFuzzyOpsInto is GetFuzzyOps appending into buf[:0], so a caller
 // replaying in a loop can reuse one scratch buffer and stay
 // allocation-free once the buffer has grown to the fuzzy-window bound.
+//onll:hotpath
 func GetFuzzyOpsInto(buf []spec.Op, gate sched.Gate, pid int, n *Node) []spec.Op {
 	ops := buf[:0]
 	for cur := n; ; {
@@ -222,6 +223,7 @@ func GetFuzzyOpsInto(buf []spec.Op, gate sched.Gate, pid int, n *Node) []spec.Op
 // the paper notes, the result is the latest OBSERVED available node,
 // which may momentarily not be the true latest; ONLL is correct despite
 // this (Proposition 5.9).
+//onll:hotpath
 func LatestAvailableFrom(gate sched.Gate, pid int, n *Node) *Node {
 	cur := n
 	for {
@@ -270,6 +272,7 @@ func NewLockFreeAt(gate sched.Gate, base *Node) *LockFree {
 // Insert implements Interface (Listing 2 insert). The CAS on the tail is
 // a concurrency fence but involves no NVM write-back, so it does not
 // count as a persistent fence (paper footnote 2).
+//onll:hotpath
 func (t *LockFree) Insert(pid int, node *Node) {
 	node.available.Store(false)
 	for {
@@ -285,6 +288,7 @@ func (t *LockFree) Insert(pid int, node *Node) {
 }
 
 // Tail implements Interface.
+//onll:hotpath
 func (t *LockFree) Tail(pid int) *Node {
 	t.gate.Step(pid, "trace.read-tail")
 	return t.tail.Load()
@@ -293,6 +297,7 @@ func (t *LockFree) Tail(pid int) *Node {
 // SetAvailable implements Interface. The epoch bump is ordered after the
 // available store: a reader whose Epoch load covers the bump is
 // guaranteed to find node available on a subsequent walk.
+//onll:hotpath
 func (t *LockFree) SetAvailable(pid int, node *Node) {
 	t.gate.Step(pid, "trace.set-available")
 	node.available.Store(true)
@@ -300,6 +305,7 @@ func (t *LockFree) SetAvailable(pid int, node *Node) {
 }
 
 // Epoch implements Interface.
+//onll:hotpath
 func (t *LockFree) Epoch(pid int) uint64 {
 	t.gate.Step(pid, "trace.epoch")
 	return t.epoch.Load()
@@ -489,6 +495,7 @@ func CollectBack(n *Node, downTo uint64) (nodes []*Node, base *Node) {
 // base's snapshot (they have the smallest indices, so they sit at the
 // end), and reverses in place — one buffer, no second slice, and zero
 // allocations once the caller's scratch buffer has grown to the lag.
+//onll:hotpath
 func CollectBackInto(buf []*Node, n *Node, downTo uint64) (nodes []*Node, base *Node) {
 	out := buf[:0]
 	for cur := n; cur != nil && cur.Idx() > downTo; {
